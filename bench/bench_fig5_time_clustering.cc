@@ -1,0 +1,56 @@
+// Fig. 5: running time of clustering in seconds, per dataset and method
+// (log-scale bars in the paper; rows here). Also reports peak RSS, matching
+// the paper's memory-efficiency discussion (Sec. VI-B).
+#include <cstdio>
+
+#include "common.h"
+#include "data/datasets.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace sgla;
+  const auto datasets = data::DatasetNames();
+  const auto methods = bench::ClusteringMethods();
+
+  std::printf("=== Fig. 5: clustering running time, seconds (scale=%.2f) ===\n\n",
+              bench::BenchScale());
+  std::printf("%-11s", "method");
+  for (const auto& d : datasets) std::printf(" %10.10s", d.c_str());
+  std::printf("\n");
+
+  for (const auto& method : methods) {
+    std::printf("%-11s", method.c_str());
+    for (const auto& dataset : datasets) {
+      bench::ClusteringRun run = bench::RunClustering(method, dataset);
+      if (run.ok) {
+        std::printf(" %10.3f", run.seconds);
+      } else {
+        std::printf(" %10s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  // Speedup line the paper highlights: SGLA+ vs the strongest baseline time.
+  std::printf("\nSGLA+ speedup vs slowest successful baseline per dataset:\n");
+  for (const auto& dataset : datasets) {
+    const double fast = bench::RunClustering("SGLA+", dataset).seconds;
+    double slowest = 0.0;
+    std::string who;
+    for (const auto& method : methods) {
+      if (method == "SGLA" || method == "SGLA+") continue;
+      bench::ClusteringRun run = bench::RunClustering(method, dataset);
+      if (run.ok && run.seconds > slowest) {
+        slowest = run.seconds;
+        who = method;
+      }
+    }
+    if (fast > 0.0 && slowest > 0.0) {
+      std::printf("  %-18s %6.1fx (vs %s)\n", dataset.c_str(), slowest / fast,
+                  who.c_str());
+    }
+  }
+  std::printf("\npeak RSS of this bench process: %.2f GB\n",
+              static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0 * 1024.0));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 6: running time of embedding in seconds, per dataset and method, plus
+// the SGLA+ speedup highlights and peak memory (Sec. VI-C).
+#include <cstdio>
+
+#include "common.h"
+#include "data/datasets.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace sgla;
+  const auto datasets = data::DatasetNames();
+  const auto methods = bench::EmbeddingMethods();
+
+  std::printf("=== Fig. 6: embedding running time, seconds (scale=%.2f) ===\n\n",
+              bench::BenchScale());
+  std::printf("%-11s", "method");
+  for (const auto& d : datasets) std::printf(" %10.10s", d.c_str());
+  std::printf("\n");
+
+  for (const auto& method : methods) {
+    std::printf("%-11s", method.c_str());
+    for (const auto& dataset : datasets) {
+      bench::EmbeddingRun run = bench::RunEmbedding(method, dataset);
+      if (run.ok) {
+        std::printf(" %10.3f", run.seconds);
+      } else {
+        std::printf(" %10s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nSGLA+ vs SGLA time ratio per dataset (paper: SGLA+ faster "
+              "everywhere):\n");
+  for (const auto& dataset : datasets) {
+    bench::EmbeddingRun plus = bench::RunEmbedding("SGLA+", dataset);
+    bench::EmbeddingRun full = bench::RunEmbedding("SGLA", dataset);
+    if (plus.ok && full.ok && plus.seconds > 0.0) {
+      std::printf("  %-18s SGLA/SGLA+ = %5.2fx\n", dataset.c_str(),
+                  full.seconds / plus.seconds);
+    }
+  }
+  std::printf("\npeak RSS of this bench process: %.2f GB\n",
+              static_cast<double>(PeakRssBytes()) / (1024.0 * 1024.0 * 1024.0));
+  return 0;
+}

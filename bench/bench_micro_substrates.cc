@@ -1,0 +1,161 @@
+// Micro-benchmarks (google-benchmark) for the numerical substrates: SpMV,
+// Laplacian aggregation, Lanczos eigensolves, KNN construction, k-means and
+// the COBYLA / Nelder-Mead optimizers on the true SGLA objective. These back
+// the DESIGN.md ablation notes (aggregator reuse, eigensolver early exit,
+// optimizer choice).
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "cluster/kmeans.h"
+#include "core/aggregator.h"
+#include "core/objective.h"
+#include "core/sgla.h"
+#include "data/generator.h"
+#include "graph/knn.h"
+#include "graph/laplacian.h"
+#include "la/lanczos.h"
+#include "opt/simplex.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sgla;
+
+struct Fixture {
+  std::vector<int32_t> labels;
+  std::vector<la::CsrMatrix> views;
+  la::DenseMatrix attributes;
+
+  static const Fixture& Get(int64_t n) {
+    static std::map<int64_t, Fixture> cache;
+    auto it = cache.find(n);
+    if (it == cache.end()) {
+      Fixture f;
+      Rng rng(77);
+      f.labels = data::BalancedLabels(n, 4, &rng);
+      graph::Graph g1 = data::SbmGraph(f.labels, 4, 0.02, 0.002, &rng);
+      graph::Graph g2 = data::SbmGraph(f.labels, 4, 0.01, 0.008, &rng);
+      f.views = {graph::NormalizedLaplacian(g1), graph::NormalizedLaplacian(g2)};
+      f.attributes = data::GaussianAttributes(f.labels, 4, 32, 1.0, 0.8, &rng);
+      it = cache.emplace(n, std::move(f)).first;
+    }
+    return it->second;
+  }
+};
+
+void BM_Spmv(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  const la::CsrMatrix& m = f.views[0];
+  la::Vector x(static_cast<size_t>(m.cols), 1.0), y(static_cast<size_t>(m.rows));
+  for (auto _ : state) {
+    la::Spmv(m, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_Spmv)->Arg(2000)->Arg(8000);
+
+void BM_AggregateReuse(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  core::LaplacianAggregator aggregator(&f.views);
+  double w = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aggregator.Aggregate({w, 1.0 - w}));
+    w = w < 0.7 ? w + 0.01 : 0.3;
+  }
+}
+BENCHMARK(BM_AggregateReuse)->Arg(2000)->Arg(8000);
+
+void BM_AggregateFromScratch(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  double w = 0.3;
+  for (auto _ : state) {
+    la::CsrMatrix sum = la::WeightedSum({&f.views[0], &f.views[1]}, {w, 1.0 - w});
+    benchmark::DoNotOptimize(sum.values.data());
+    w = w < 0.7 ? w + 0.01 : 0.3;
+  }
+}
+BENCHMARK(BM_AggregateFromScratch)->Arg(2000)->Arg(8000);
+
+void BM_LanczosSmallestEigenvalues(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  for (auto _ : state) {
+    auto eig = la::SmallestEigenpairs(f.views[0], 5, 2.0);
+    benchmark::DoNotOptimize(eig.ok());
+  }
+}
+BENCHMARK(BM_LanczosSmallestEigenvalues)->Arg(2000)->Arg(8000);
+
+void BM_ObjectiveEvaluation(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  core::SpectralObjective objective(&f.views, 4);
+  double w = 0.3;
+  for (auto _ : state) {
+    auto value = objective.Evaluate({w, 1.0 - w});
+    benchmark::DoNotOptimize(value.ok());
+    w = w < 0.7 ? w + 0.05 : 0.3;
+  }
+}
+BENCHMARK(BM_ObjectiveEvaluation)->Arg(2000)->Arg(8000);
+
+void BM_KnnExact(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  graph::KnnOptions options;
+  options.k = 10;
+  options.exact_threshold = 1 << 30;
+  for (auto _ : state) {
+    graph::Graph g = graph::KnnGraph(f.attributes, options);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_KnnExact)->Arg(2000);
+
+void BM_KnnRpForest(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  graph::KnnOptions options;
+  options.k = 10;
+  options.exact_threshold = 1;  // force the approximate path
+  for (auto _ : state) {
+    graph::Graph g = graph::KnnGraph(f.attributes, options);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_KnnRpForest)->Arg(2000)->Arg(8000);
+
+void BM_KMeans(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  cluster::KMeansOptions options;
+  options.num_init = 1;
+  for (auto _ : state) {
+    auto result = cluster::KMeans(f.attributes, 4, options);
+    benchmark::DoNotOptimize(result.inertia);
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(2000)->Arg(8000);
+
+void BM_SglaCobyla(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(2000);
+  core::SglaOptions options;
+  options.optimizer = core::WeightOptimizer::kCobyla;
+  for (auto _ : state) {
+    auto result = core::Sgla(f.views, 4, options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_SglaCobyla);
+
+void BM_SglaNelderMead(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(2000);
+  core::SglaOptions options;
+  options.optimizer = core::WeightOptimizer::kNelderMead;
+  for (auto _ : state) {
+    auto result = core::Sgla(f.views, 4, options);
+    benchmark::DoNotOptimize(result.ok());
+  }
+}
+BENCHMARK(BM_SglaNelderMead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,484 @@
+#include "common.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "baselines/fixed_weight.h"
+#include "baselines/lmgec_lite.h"
+#include "baselines/magc_lite.h"
+#include "baselines/mvagc_lite.h"
+#include "baselines/wmsc.h"
+#include "cluster/spectral_clustering.h"
+#include "core/integration.h"
+#include "core/view_laplacian.h"
+#include "data/datasets.h"
+#include "data/io.h"
+#include "embed/netmf.h"
+#include "embed/sketchne.h"
+#include "eval/logreg.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace sgla {
+namespace bench {
+namespace {
+
+constexpr int64_t kNetMfMaxNodes = 9000;
+
+std::string Sanitize(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? static_cast<char>(std::tolower(c)) : '_';
+  }
+  return out;
+}
+
+std::string ScaleTag() {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "s%03d",
+                static_cast<int>(BenchScale() * 100.0 + 0.5));
+  return buffer;
+}
+
+graph::KnnOptions KnnFor(const std::string& dataset) {
+  graph::KnnOptions knn;
+  knn.k = data::RecommendedKnnK(dataset, BenchScale());
+  return knn;
+}
+
+/// Labels from spectral clustering on an integration result.
+Result<std::vector<int32_t>> ClusterLaplacian(const la::CsrMatrix& laplacian,
+                                              int k) {
+  return cluster::SpectralClustering(laplacian, k);
+}
+
+/// Embedding from the integrated Laplacian: NetMF below the dense threshold,
+/// SketchNe above (the paper's NetMF / SketchNE split, Sec. VI-C).
+Result<la::DenseMatrix> EmbedLaplacian(const la::CsrMatrix& laplacian) {
+  if (laplacian.rows <= kNetMfMaxNodes) {
+    embed::NetMfOptions options;
+    return embed::NetMf(laplacian, options);
+  }
+  embed::SketchNeOptions options;
+  return embed::SketchNe(laplacian, options);
+}
+
+}  // namespace
+
+double BenchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("SGLA_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double parsed = std::atof(env);
+    return parsed > 0.0 && parsed <= 1.0 ? parsed : 1.0;
+  }();
+  return scale;
+}
+
+const std::string& CacheDir() {
+  static const std::string dir = [] {
+    const char* env = std::getenv("SGLA_BENCH_CACHE");
+    std::string d = env != nullptr ? env : "/tmp/sgla_bench_cache";
+    ::mkdir(d.c_str(), 0755);
+    return d;
+  }();
+  return dir;
+}
+
+const core::MultiViewGraph& GetDataset(const std::string& name) {
+  static std::map<std::string, core::MultiViewGraph> cache;
+  auto it = cache.find(name);
+  if (it != cache.end()) return it->second;
+
+  const std::string path =
+      CacheDir() + "/mvag_" + Sanitize(name) + "_" + ScaleTag() + ".bin";
+  Result<core::MultiViewGraph> loaded = data::LoadMvag(path);
+  if (loaded.ok()) {
+    return cache.emplace(name, std::move(*loaded)).first->second;
+  }
+  Result<core::MultiViewGraph> made = data::MakeDataset(name, BenchScale());
+  SGLA_CHECK(made.ok()) << made.status().ToString();
+  SGLA_CHECK_OK(data::SaveMvag(*made, path));
+  return cache.emplace(name, std::move(*made)).first->second;
+}
+
+const std::vector<la::CsrMatrix>& GetViewLaplacians(const std::string& name,
+                                                    double* build_seconds) {
+  struct Entry {
+    std::vector<la::CsrMatrix> views;
+    double seconds = 0.0;
+  };
+  static std::map<std::string, Entry> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    Entry entry;
+    const std::string base =
+        CacheDir() + "/lap_" + Sanitize(name) + "_" + ScaleTag();
+    const std::string meta_path = base + ".meta";
+    std::ifstream meta(meta_path);
+    int count = 0;
+    double cached_seconds = 0.0;
+    bool loaded = false;
+    if (meta >> count >> cached_seconds && count > 0) {
+      loaded = true;
+      for (int v = 0; v < count && loaded; ++v) {
+        auto m = data::LoadCsr(base + "_" + std::to_string(v) + ".csr");
+        if (m.ok()) {
+          entry.views.push_back(std::move(*m));
+        } else {
+          loaded = false;
+          entry.views.clear();
+        }
+      }
+      entry.seconds = cached_seconds;
+    }
+    if (!loaded) {
+      const core::MultiViewGraph& mvag = GetDataset(name);
+      Stopwatch stopwatch;
+      auto views = core::ComputeViewLaplacians(mvag, KnnFor(name));
+      SGLA_CHECK(views.ok()) << views.status().ToString();
+      entry.seconds = stopwatch.Seconds();
+      entry.views = std::move(*views);
+      for (size_t v = 0; v < entry.views.size(); ++v) {
+        SGLA_CHECK_OK(
+            data::SaveCsr(entry.views[v], base + "_" + std::to_string(v) + ".csr"));
+      }
+      std::ofstream out(meta_path);
+      out << entry.views.size() << " " << entry.seconds << "\n";
+    }
+    it = cache.emplace(name, std::move(entry)).first;
+  }
+  if (build_seconds != nullptr) *build_seconds = it->second.seconds;
+  return it->second.views;
+}
+
+std::vector<std::string> ClusteringMethods() {
+  return {"WMSC",   "MvAGC", "MAGC",      "LMGEC", "Equal-w",
+          "Graph-Agg", "Best-1view", "SGLA",  "SGLA+"};
+}
+
+namespace {
+
+ClusteringRun ComputeClustering(const std::string& method,
+                                const std::string& dataset) {
+  ClusteringRun run;
+  const core::MultiViewGraph& mvag = GetDataset(dataset);
+  const int k = mvag.num_clusters();
+  Stopwatch stopwatch;
+
+  auto finish_labels = [&](Result<std::vector<int32_t>> labels) {
+    if (!labels.ok()) {
+      run.ok = false;
+      run.note = labels.status().ToString();
+      return;
+    }
+    run.seconds = stopwatch.Seconds();
+    run.quality = eval::EvaluateClustering(*labels, mvag.labels());
+    run.ok = true;
+  };
+
+  if (method == "SGLA" || method == "SGLA+" || method == "Equal-w" ||
+      method == "Best-1view" || method == "WMSC") {
+    double laplacian_seconds = 0.0;
+    const std::vector<la::CsrMatrix>& views =
+        GetViewLaplacians(dataset, &laplacian_seconds);
+    stopwatch.Restart();
+    if (method == "SGLA") {
+      auto integration = core::Sgla(views, k);
+      if (!integration.ok()) {
+        run.note = integration.status().ToString();
+        return run;
+      }
+      finish_labels(ClusterLaplacian(integration->laplacian, k));
+    } else if (method == "SGLA+") {
+      auto integration = core::SglaPlus(views, k);
+      if (!integration.ok()) {
+        run.note = integration.status().ToString();
+        return run;
+      }
+      finish_labels(ClusterLaplacian(integration->laplacian, k));
+    } else if (method == "Equal-w") {
+      auto integration = baselines::EqualWeights(views, k);
+      if (!integration.ok()) {
+        run.note = integration.status().ToString();
+        return run;
+      }
+      finish_labels(ClusterLaplacian(integration->laplacian, k));
+    } else if (method == "Best-1view") {
+      // Oracle over single views: best accuracy any one view achieves.
+      ClusteringRun best;
+      for (size_t v = 0; v < views.size(); ++v) {
+        auto labels = ClusterLaplacian(views[v], k);
+        if (!labels.ok()) continue;
+        eval::ClusteringQuality q = eval::EvaluateClustering(*labels, mvag.labels());
+        if (!best.ok || q.accuracy > best.quality.accuracy) {
+          best.ok = true;
+          best.quality = q;
+        }
+      }
+      best.seconds = stopwatch.Seconds() + laplacian_seconds;
+      if (!best.ok) best.note = "all views failed";
+      return best;
+    } else {  // WMSC
+      auto wmsc = baselines::Wmsc(views, k);
+      if (!wmsc.ok()) {
+        run.note = wmsc.status().ToString();
+        return run;
+      }
+      run.seconds = stopwatch.Seconds() + laplacian_seconds;
+      run.quality = eval::EvaluateClustering(wmsc->labels, mvag.labels());
+      run.ok = true;
+      return run;
+    }
+    run.seconds += laplacian_seconds;
+    return run;
+  }
+
+  if (method == "Graph-Agg") {
+    auto integration = baselines::GraphAgg(mvag, KnnFor(dataset));
+    if (!integration.ok()) {
+      run.note = integration.status().ToString();
+      return run;
+    }
+    finish_labels(ClusterLaplacian(integration->laplacian, k));
+    return run;
+  }
+  if (method == "MvAGC") {
+    auto result = baselines::MvagcLite(mvag);
+    if (!result.ok()) {
+      run.note = result.status().ToString();
+      return run;
+    }
+    run.seconds = stopwatch.Seconds();
+    run.quality = eval::EvaluateClustering(result->labels, mvag.labels());
+    run.ok = true;
+    return run;
+  }
+  if (method == "MAGC") {
+    auto result = baselines::MagcLite(mvag);
+    if (!result.ok()) {
+      run.note = result.status().code() == StatusCode::kResourceExhausted
+                     ? "OOM (n^2 consensus)"
+                     : result.status().ToString();
+      return run;
+    }
+    run.seconds = stopwatch.Seconds();
+    run.quality = eval::EvaluateClustering(result->labels, mvag.labels());
+    run.ok = true;
+    return run;
+  }
+  if (method == "LMGEC") {
+    auto result = baselines::LmgecLite(mvag);
+    if (!result.ok()) {
+      run.note = result.status().ToString();
+      return run;
+    }
+    run.seconds = stopwatch.Seconds();
+    run.quality = eval::EvaluateClustering(result->labels, mvag.labels());
+    run.ok = true;
+    return run;
+  }
+  run.note = "unknown method";
+  return run;
+}
+
+std::string ResultPath(const std::string& kind, const std::string& method,
+                       const std::string& dataset) {
+  return CacheDir() + "/" + kind + "_" + Sanitize(method) + "_" +
+         Sanitize(dataset) + "_" + ScaleTag() + ".txt";
+}
+
+}  // namespace
+
+ClusteringRun RunClustering(const std::string& method, const std::string& dataset) {
+  const std::string path = ResultPath("clu", method, dataset);
+  {
+    std::ifstream in(path);
+    int ok = 0;
+    ClusteringRun run;
+    if (in >> ok >> run.seconds >> run.quality.accuracy >> run.quality.macro_f1 >>
+        run.quality.nmi >> run.quality.ari >> run.quality.purity) {
+      run.ok = ok != 0;
+      std::getline(in, run.note);
+      std::getline(in, run.note);
+      return run;
+    }
+  }
+  ClusteringRun run = ComputeClustering(method, dataset);
+  std::ofstream out(path);
+  out << (run.ok ? 1 : 0) << " " << run.seconds << " " << run.quality.accuracy
+      << " " << run.quality.macro_f1 << " " << run.quality.nmi << " "
+      << run.quality.ari << " " << run.quality.purity << "\n"
+      << run.note << "\n";
+  return run;
+}
+
+std::vector<std::string> EmbeddingMethods() {
+  return {"AttrSVD", "WMSC-sp", "MvAGC", "LMGEC", "Equal-w",
+          "Graph-Agg", "SGLA",  "SGLA+"};
+}
+
+double TrainFraction(const std::string& dataset) {
+  // Paper: 20% of labels, 1% on the (million-node) MAG datasets. The scaled
+  // MAG stand-ins use 5% so every class keeps a few training nodes.
+  if (dataset == "mag-eng" || dataset == "mag-phy") return 0.05;
+  return 0.2;
+}
+
+namespace {
+
+EmbeddingRun ComputeEmbedding(const std::string& method,
+                              const std::string& dataset) {
+  EmbeddingRun run;
+  const core::MultiViewGraph& mvag = GetDataset(dataset);
+  const int k = mvag.num_clusters();
+  Stopwatch stopwatch;
+  Result<la::DenseMatrix> embedding(la::DenseMatrix{});
+  double extra_seconds = 0.0;
+
+  if (method == "SGLA" || method == "SGLA+" || method == "Equal-w") {
+    double laplacian_seconds = 0.0;
+    const std::vector<la::CsrMatrix>& views =
+        GetViewLaplacians(dataset, &laplacian_seconds);
+    extra_seconds = laplacian_seconds;
+    stopwatch.Restart();
+    Result<core::IntegrationResult> integration =
+        method == "SGLA"    ? core::Sgla(views, k)
+        : method == "SGLA+" ? core::SglaPlus(views, k)
+                            : baselines::EqualWeights(views, k);
+    if (!integration.ok()) {
+      run.note = integration.status().ToString();
+      return run;
+    }
+    embedding = EmbedLaplacian(integration->laplacian);
+  } else if (method == "Graph-Agg") {
+    auto integration = baselines::GraphAgg(mvag, KnnFor(dataset));
+    if (!integration.ok()) {
+      run.note = integration.status().ToString();
+      return run;
+    }
+    embedding = EmbedLaplacian(integration->laplacian);
+  } else if (method == "WMSC-sp") {
+    double laplacian_seconds = 0.0;
+    const std::vector<la::CsrMatrix>& views =
+        GetViewLaplacians(dataset, &laplacian_seconds);
+    extra_seconds = laplacian_seconds;
+    stopwatch.Restart();
+    auto wmsc = baselines::Wmsc(views, k);
+    if (!wmsc.ok()) {
+      run.note = wmsc.status().ToString();
+      return run;
+    }
+    embedding = std::move(wmsc->embedding);
+  } else if (method == "MvAGC") {
+    auto result = baselines::MvagcLite(mvag);
+    if (!result.ok()) {
+      run.note = result.status().ToString();
+      return run;
+    }
+    embedding = std::move(result->embedding);
+  } else if (method == "LMGEC") {
+    auto result = baselines::LmgecLite(mvag);
+    if (!result.ok()) {
+      run.note = result.status().ToString();
+      return run;
+    }
+    embedding = std::move(result->embedding);
+  } else if (method == "AttrSVD") {
+    embedding = baselines::AttributeConcatSvdEmbedding(mvag, 64);
+  } else {
+    run.note = "unknown method";
+    return run;
+  }
+
+  if (!embedding.ok()) {
+    run.note = embedding.status().ToString();
+    return run;
+  }
+  run.seconds = stopwatch.Seconds() + extra_seconds;
+  auto quality = eval::EvaluateEmbedding(*embedding, mvag.labels(), k,
+                                         TrainFraction(dataset));
+  if (!quality.ok()) {
+    run.note = quality.status().ToString();
+    return run;
+  }
+  run.macro_f1 = quality->macro_f1;
+  run.micro_f1 = quality->micro_f1;
+  run.ok = true;
+  return run;
+}
+
+}  // namespace
+
+EmbeddingRun RunEmbedding(const std::string& method, const std::string& dataset) {
+  const std::string path = ResultPath("emb", method, dataset);
+  {
+    std::ifstream in(path);
+    int ok = 0;
+    EmbeddingRun run;
+    if (in >> ok >> run.seconds >> run.macro_f1 >> run.micro_f1) {
+      run.ok = ok != 0;
+      std::getline(in, run.note);
+      std::getline(in, run.note);
+      return run;
+    }
+  }
+  EmbeddingRun run = ComputeEmbedding(method, dataset);
+  std::ofstream out(path);
+  out << (run.ok ? 1 : 0) << " " << run.seconds << " " << run.macro_f1 << " "
+      << run.micro_f1 << "\n"
+      << run.note << "\n";
+  return run;
+}
+
+bool LoadCachedRow(const std::string& key, std::vector<double>* values) {
+  std::ifstream in(CacheDir() + "/row_" + Sanitize(key) + "_" + ScaleTag() + ".txt");
+  if (!in) return false;
+  values->clear();
+  double v = 0.0;
+  while (in >> v) values->push_back(v);
+  return !values->empty();
+}
+
+void StoreCachedRow(const std::string& key, const std::vector<double>& values) {
+  std::ofstream out(CacheDir() + "/row_" + Sanitize(key) + "_" + ScaleTag() + ".txt");
+  for (double v : values) out << v << " ";
+  out << "\n";
+}
+
+std::vector<double> OverallRanks(
+    const std::vector<std::vector<std::vector<double>>>& metric_values) {
+  // metric_values[dataset][metric][method]; NaN marks a failed run.
+  std::vector<double> rank_sum;
+  int64_t cells = 0;
+  for (const auto& dataset : metric_values) {
+    for (const auto& metric : dataset) {
+      const size_t methods = metric.size();
+      if (rank_sum.empty()) rank_sum.assign(methods, 0.0);
+      std::vector<size_t> order(methods);
+      for (size_t i = 0; i < methods; ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        const double va = std::isnan(metric[a]) ? -1e18 : metric[a];
+        const double vb = std::isnan(metric[b]) ? -1e18 : metric[b];
+        return va > vb;
+      });
+      for (size_t pos = 0; pos < methods; ++pos) {
+        rank_sum[order[pos]] += static_cast<double>(pos + 1);
+      }
+      ++cells;
+    }
+  }
+  for (double& r : rank_sum) r /= std::max<int64_t>(1, cells);
+  return rank_sum;
+}
+
+}  // namespace bench
+}  // namespace sgla
