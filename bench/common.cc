@@ -465,13 +465,25 @@ std::vector<double> OverallRanks(
       if (rank_sum.empty()) rank_sum.assign(methods, 0.0);
       std::vector<size_t> order(methods);
       for (size_t i = 0; i < methods; ++i) order[i] = i;
+      auto value_of = [&](size_t m) {
+        return std::isnan(metric[m]) ? -1e18 : metric[m];
+      };
       std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-        const double va = std::isnan(metric[a]) ? -1e18 : metric[a];
-        const double vb = std::isnan(metric[b]) ? -1e18 : metric[b];
-        return va > vb;
+        return value_of(a) > value_of(b);
       });
-      for (size_t pos = 0; pos < methods; ++pos) {
-        rank_sum[order[pos]] += static_cast<double>(pos + 1);
+      // Tied values share the average of the positions they span, so method
+      // order never breaks ties.
+      size_t pos = 0;
+      while (pos < methods) {
+        size_t end = pos + 1;
+        while (end < methods &&
+               value_of(order[end]) == value_of(order[pos])) {
+          ++end;
+        }
+        const double shared_rank =
+            static_cast<double>(pos + 1 + end) / 2.0;  // avg of pos+1..end
+        for (size_t i = pos; i < end; ++i) rank_sum[order[i]] += shared_rank;
+        pos = end;
       }
       ++cells;
     }

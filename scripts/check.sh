@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-command tier-1 gate: configure, build everything (-j), run ctest.
+#
+# Usage:
+#   scripts/check.sh                 # release build + tests in build/
+#   scripts/check.sh --asan          # same, instrumented, in build-asan/
+#   SGLA_CHECK_BUILD_DIR=out scripts/check.sh   # custom build dir
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir="${SGLA_CHECK_BUILD_DIR:-build}"
+cmake_args=()
+if [[ "${1:-}" == "--asan" ]]; then
+  build_dir="${SGLA_CHECK_BUILD_DIR:-build-asan}"
+  cmake_args+=(-DSGLA_SANITIZE=address)
+  shift
+fi
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "${build_dir}" -S . "${cmake_args[@]}"
+cmake --build "${build_dir}" -j "${jobs}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" "$@"
+
+echo "check.sh: all green (${build_dir})"

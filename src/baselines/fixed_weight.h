@@ -1,0 +1,32 @@
+#ifndef SGLA_BASELINES_FIXED_WEIGHT_H_
+#define SGLA_BASELINES_FIXED_WEIGHT_H_
+
+#include <vector>
+
+#include "core/integration.h"
+#include "core/mvag.h"
+#include "graph/knn.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace baselines {
+
+/// Uniform-weight Laplacian aggregation (the "Equal-w" rows).
+Result<core::IntegrationResult> EqualWeights(
+    const std::vector<la::CsrMatrix>& views, int k);
+
+/// Raw adjacency aggregation: merge every view's edges (attribute views via
+/// KNN) into one graph and take its normalized Laplacian ("Graph-Agg").
+Result<core::IntegrationResult> GraphAgg(const core::MultiViewGraph& mvag,
+                                         const graph::KnnOptions& knn = {});
+
+/// SVD of the concatenated attribute views — the structure-blind embedding
+/// baseline ("AttrSVD").
+Result<la::DenseMatrix> AttributeConcatSvdEmbedding(
+    const core::MultiViewGraph& mvag, int dim);
+
+}  // namespace baselines
+}  // namespace sgla
+
+#endif  // SGLA_BASELINES_FIXED_WEIGHT_H_

@@ -1,0 +1,64 @@
+#include "baselines/lite_common.h"
+
+#include <algorithm>
+
+#include "graph/laplacian.h"
+
+namespace sgla {
+namespace baselines {
+
+Result<la::DenseMatrix> ConcatAttributesOrDegrees(
+    const core::MultiViewGraph& mvag) {
+  if (!mvag.attribute_views().empty()) {
+    std::vector<const la::DenseMatrix*> blocks;
+    for (const la::DenseMatrix& x : mvag.attribute_views()) {
+      blocks.push_back(&x);
+    }
+    return la::HConcat(blocks);
+  }
+  if (mvag.graph_views().empty()) {
+    return FailedPrecondition("dataset has neither attributes nor graphs");
+  }
+  // Degree profile per view as a crude feature stand-in.
+  la::DenseMatrix degrees(mvag.num_nodes(),
+                          static_cast<int64_t>(mvag.graph_views().size()));
+  for (size_t v = 0; v < mvag.graph_views().size(); ++v) {
+    for (const graph::Edge& e : mvag.graph_views()[v].edges()) {
+      degrees(e.u, static_cast<int64_t>(v)) += e.weight;
+      degrees(e.v, static_cast<int64_t>(v)) += e.weight;
+    }
+  }
+  return degrees;
+}
+
+Result<la::DenseMatrix> FilteredFeatures(const core::MultiViewGraph& mvag,
+                                         const la::DenseMatrix& features,
+                                         int hops) {
+  if (mvag.graph_views().empty()) return features;
+  // Average normalized adjacency over the graph views.
+  std::vector<la::CsrMatrix> adjacencies;
+  adjacencies.reserve(mvag.graph_views().size());
+  std::vector<const la::CsrMatrix*> pointers;
+  for (const graph::Graph& g : mvag.graph_views()) {
+    adjacencies.push_back(graph::NormalizedAdjacency(g));
+  }
+  for (const la::CsrMatrix& a : adjacencies) pointers.push_back(&a);
+  const la::CsrMatrix average = la::WeightedSum(
+      pointers,
+      std::vector<double>(pointers.size(), 1.0 / pointers.size()));
+
+  la::DenseMatrix current = features;
+  la::DenseMatrix propagated(features.rows(), features.cols());
+  for (int t = 0; t < hops; ++t) {
+    la::SpmvDense(average, current, &propagated);
+    for (int64_t i = 0; i < current.rows(); ++i) {
+      for (int64_t j = 0; j < current.cols(); ++j) {
+        current(i, j) = 0.5 * (current(i, j) + propagated(i, j));
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace baselines
+}  // namespace sgla

@@ -1,0 +1,29 @@
+#ifndef SGLA_BASELINES_LITE_COMMON_H_
+#define SGLA_BASELINES_LITE_COMMON_H_
+
+#include <vector>
+
+#include "core/mvag.h"
+#include "la/dense.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace baselines {
+
+/// Concatenated attribute views (falls back to one-hot-ish degree profiles
+/// when a dataset carries no attributes, so filtering baselines stay runnable).
+Result<la::DenseMatrix> ConcatAttributesOrDegrees(
+    const core::MultiViewGraph& mvag);
+
+/// Low-pass graph filtering X' = ((I + \hat{A}) / 2)^t X against the average
+/// normalized adjacency of the graph views — the shared preprocessing of the
+/// MvAGC / MAGC / LMGEC lite variants.
+Result<la::DenseMatrix> FilteredFeatures(const core::MultiViewGraph& mvag,
+                                         const la::DenseMatrix& features,
+                                         int hops);
+
+}  // namespace baselines
+}  // namespace sgla
+
+#endif  // SGLA_BASELINES_LITE_COMMON_H_

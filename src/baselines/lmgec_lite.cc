@@ -1,0 +1,93 @@
+#include "baselines/lmgec_lite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/lite_common.h"
+#include "cluster/kmeans.h"
+#include "graph/laplacian.h"
+#include "la/svd.h"
+
+namespace sgla {
+namespace baselines {
+namespace {
+
+/// One-view low-pass filter, mirroring FilteredFeatures but for a single view.
+la::DenseMatrix FilterWithView(const graph::Graph& g,
+                               const la::DenseMatrix& features, int hops) {
+  const la::CsrMatrix adjacency = graph::NormalizedAdjacency(g);
+  la::DenseMatrix current = features;
+  la::DenseMatrix propagated(features.rows(), features.cols());
+  for (int t = 0; t < hops; ++t) {
+    la::SpmvDense(adjacency, current, &propagated);
+    for (int64_t i = 0; i < current.rows(); ++i) {
+      for (int64_t j = 0; j < current.cols(); ++j) {
+        current(i, j) = 0.5 * (current(i, j) + propagated(i, j));
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+Result<LmgecResult> LmgecLite(const core::MultiViewGraph& mvag,
+                              int embedding_dim) {
+  auto features = ConcatAttributesOrDegrees(mvag);
+  if (!features.ok()) return features.status();
+  const int k = mvag.num_clusters();
+
+  // Per graph view: filter, score by k-means inertia (lower = crisper view).
+  std::vector<la::DenseMatrix> filtered;
+  std::vector<double> weights;
+  if (mvag.graph_views().empty()) {
+    filtered.push_back(*features);
+    weights.push_back(1.0);
+  } else {
+    cluster::KMeansOptions cheap;
+    cheap.num_init = 1;
+    cheap.max_iterations = 30;
+    for (const graph::Graph& g : mvag.graph_views()) {
+      filtered.push_back(FilterWithView(g, *features, /*hops=*/3));
+      const double inertia =
+          cluster::KMeans(filtered.back(), k, cheap).inertia /
+          std::max<int64_t>(1, filtered.back().rows());
+      weights.push_back(1.0 / (1.0 + inertia));
+    }
+  }
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+
+  // Weighted horizontal stack, then one SVD for the shared embedding.
+  std::vector<la::DenseMatrix> scaled;
+  std::vector<const la::DenseMatrix*> blocks;
+  scaled.reserve(filtered.size());
+  for (size_t v = 0; v < filtered.size(); ++v) {
+    la::DenseMatrix block = std::move(filtered[v]);
+    const double scale = weights[v] / weight_sum * filtered.size();
+    for (double& value : block.data()) value *= scale;
+    scaled.push_back(std::move(block));
+  }
+  for (const la::DenseMatrix& b : scaled) blocks.push_back(&b);
+  const la::DenseMatrix stacked = la::HConcat(blocks);
+
+  const int rank = static_cast<int>(std::min<int64_t>(
+      embedding_dim, std::min(stacked.rows() - 1, stacked.cols())));
+  if (rank < 1) return FailedPrecondition("LMGEC-lite: degenerate features");
+  auto svd = la::TruncatedSvd(stacked, rank);
+  if (!svd.ok()) return svd.status();
+
+  LmgecResult result;
+  result.embedding = std::move(svd->u);
+  for (int64_t j = 0; j < result.embedding.cols(); ++j) {
+    const double sigma = svd->singular_values[static_cast<size_t>(j)];
+    for (int64_t i = 0; i < result.embedding.rows(); ++i) {
+      result.embedding(i, j) *= sigma;
+    }
+  }
+  result.labels = cluster::KMeans(result.embedding, k).labels;
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace sgla

@@ -1,0 +1,29 @@
+#ifndef SGLA_BASELINES_LMGEC_LITE_H_
+#define SGLA_BASELINES_LMGEC_LITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mvag.h"
+#include "la/dense.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace baselines {
+
+struct LmgecResult {
+  std::vector<int32_t> labels;
+  la::DenseMatrix embedding;
+};
+
+/// LMGEC-lite: per-view filtered features weighted by an inertia-based view
+/// quality score, concatenated and reduced by truncated SVD, then k-means —
+/// the linear multi-view embedding/clustering recipe without the iterative
+/// refinement loop.
+Result<LmgecResult> LmgecLite(const core::MultiViewGraph& mvag,
+                              int embedding_dim = 64);
+
+}  // namespace baselines
+}  // namespace sgla
+
+#endif  // SGLA_BASELINES_LMGEC_LITE_H_

@@ -1,0 +1,69 @@
+#include "baselines/magc_lite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/lite_common.h"
+#include "cluster/spectral_clustering.h"
+#include "la/sparse.h"
+
+namespace sgla {
+namespace baselines {
+
+Result<MagcResult> MagcLite(const core::MultiViewGraph& mvag,
+                            int64_t max_nodes) {
+  const int64_t n = mvag.num_nodes();
+  if (n > max_nodes) {
+    return ResourceExhausted("MAGC consensus needs O(n^2) memory at n = " +
+                             std::to_string(n));
+  }
+  auto features = ConcatAttributesOrDegrees(mvag);
+  if (!features.ok()) return features.status();
+  auto filtered = FilteredFeatures(mvag, *features, /*hops=*/2);
+  if (!filtered.ok()) return filtered.status();
+  la::DenseMatrix x = std::move(*filtered);
+  la::NormalizeRows(&x);
+
+  // Dense consensus: cosine similarity, negatives clipped, diagonal dropped.
+  // Kept sparse-ified only to reuse the Lanczos path on I - D^-1/2 S D^-1/2.
+  std::vector<la::Triplet> entries;
+  std::vector<double> degree(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const double s = la::Dot(x.Row(i), x.Row(j), x.cols());
+      if (s <= 0.05) continue;  // sparsify: weak affinities carry no signal
+      entries.push_back({i, j, s});
+      entries.push_back({j, i, s});
+      degree[static_cast<size_t>(i)] += s;
+      degree[static_cast<size_t>(j)] += s;
+    }
+  }
+  std::vector<la::Triplet> laplacian_entries;
+  laplacian_entries.reserve(entries.size() + static_cast<size_t>(n));
+  for (const la::Triplet& t : entries) {
+    const double di = degree[static_cast<size_t>(t.row)];
+    const double dj = degree[static_cast<size_t>(t.col)];
+    if (di > 0.0 && dj > 0.0) {
+      laplacian_entries.push_back({t.row, t.col, -t.value / std::sqrt(di * dj)});
+    }
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    if (degree[static_cast<size_t>(i)] > 0.0) {
+      laplacian_entries.push_back({i, i, 1.0});
+    }
+  }
+  const la::CsrMatrix laplacian =
+      la::FromTriplets(n, n, std::move(laplacian_entries));
+
+  MagcResult result;
+  auto embedding = cluster::SpectralEmbeddingForClustering(
+      laplacian, mvag.num_clusters());
+  if (!embedding.ok()) return embedding.status();
+  result.embedding = std::move(*embedding);
+  result.labels =
+      cluster::KMeans(result.embedding, mvag.num_clusters()).labels;
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace sgla

@@ -1,0 +1,29 @@
+#ifndef SGLA_BASELINES_MAGC_LITE_H_
+#define SGLA_BASELINES_MAGC_LITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mvag.h"
+#include "la/dense.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace baselines {
+
+struct MagcResult {
+  std::vector<int32_t> labels;
+  la::DenseMatrix embedding;
+};
+
+/// MAGC-lite: dense n x n consensus affinity from filtered features, spectral
+/// clustering on its Laplacian. Faithful to MAGC's quadratic memory profile —
+/// returns kResourceExhausted above `max_nodes` instead of thrashing,
+/// matching the paper's '-' entries on the MAG datasets.
+Result<MagcResult> MagcLite(const core::MultiViewGraph& mvag,
+                            int64_t max_nodes = 2800);
+
+}  // namespace baselines
+}  // namespace sgla
+
+#endif  // SGLA_BASELINES_MAGC_LITE_H_

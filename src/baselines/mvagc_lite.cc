@@ -1,0 +1,39 @@
+#include "baselines/mvagc_lite.h"
+
+#include <algorithm>
+
+#include "baselines/lite_common.h"
+#include "cluster/kmeans.h"
+#include "la/svd.h"
+
+namespace sgla {
+namespace baselines {
+
+Result<MvagcResult> MvagcLite(const core::MultiViewGraph& mvag,
+                              int embedding_dim) {
+  auto features = ConcatAttributesOrDegrees(mvag);
+  if (!features.ok()) return features.status();
+  auto filtered = FilteredFeatures(mvag, *features, /*hops=*/3);
+  if (!filtered.ok()) return filtered.status();
+
+  const int rank = static_cast<int>(std::min<int64_t>(
+      embedding_dim, std::min(filtered->rows() - 1, filtered->cols())));
+  if (rank < 1) return FailedPrecondition("MvAGC-lite: degenerate features");
+  auto svd = la::TruncatedSvd(*filtered, rank);
+  if (!svd.ok()) return svd.status();
+
+  MvagcResult result;
+  result.embedding = std::move(svd->u);
+  for (int64_t j = 0; j < result.embedding.cols(); ++j) {
+    const double sigma = svd->singular_values[static_cast<size_t>(j)];
+    for (int64_t i = 0; i < result.embedding.rows(); ++i) {
+      result.embedding(i, j) *= sigma;
+    }
+  }
+  result.labels =
+      cluster::KMeans(result.embedding, mvag.num_clusters()).labels;
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace sgla

@@ -1,0 +1,28 @@
+#ifndef SGLA_BASELINES_MVAGC_LITE_H_
+#define SGLA_BASELINES_MVAGC_LITE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mvag.h"
+#include "la/dense.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace baselines {
+
+struct MvagcResult {
+  std::vector<int32_t> labels;
+  la::DenseMatrix embedding;
+};
+
+/// MvAGC-lite: low-pass graph filtering of the concatenated attributes over
+/// the averaged graph views, truncated SVD to the embedding dimension, and
+/// k-means — the anchor-free core of the MvAGC pipeline.
+Result<MvagcResult> MvagcLite(const core::MultiViewGraph& mvag,
+                              int embedding_dim = 64);
+
+}  // namespace baselines
+}  // namespace sgla
+
+#endif  // SGLA_BASELINES_MVAGC_LITE_H_

@@ -1,0 +1,21 @@
+#include "baselines/single_objective.h"
+
+namespace sgla {
+namespace baselines {
+
+Result<core::IntegrationResult> ConnectivityOnly(
+    const std::vector<la::CsrMatrix>& views, int k) {
+  core::SglaOptions options;
+  options.objective.use_eigengap = false;
+  return core::Sgla(views, k, options);
+}
+
+Result<core::IntegrationResult> EigengapOnly(
+    const std::vector<la::CsrMatrix>& views, int k) {
+  core::SglaOptions options;
+  options.objective.use_connectivity = false;
+  return core::Sgla(views, k, options);
+}
+
+}  // namespace baselines
+}  // namespace sgla

@@ -1,0 +1,23 @@
+#ifndef SGLA_BASELINES_SINGLE_OBJECTIVE_H_
+#define SGLA_BASELINES_SINGLE_OBJECTIVE_H_
+
+#include <vector>
+
+#include "core/integration.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace baselines {
+
+/// Fig. 11 ablations: SGLA's weight search driven by only one of the two
+/// spectral terms.
+Result<core::IntegrationResult> ConnectivityOnly(
+    const std::vector<la::CsrMatrix>& views, int k);
+Result<core::IntegrationResult> EigengapOnly(
+    const std::vector<la::CsrMatrix>& views, int k);
+
+}  // namespace baselines
+}  // namespace sgla
+
+#endif  // SGLA_BASELINES_SINGLE_OBJECTIVE_H_

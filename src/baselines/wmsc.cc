@@ -1,0 +1,56 @@
+#include "baselines/wmsc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "cluster/kmeans.h"
+#include "la/lanczos.h"
+
+namespace sgla {
+namespace baselines {
+
+Result<WmscResult> Wmsc(const std::vector<la::CsrMatrix>& views, int k) {
+  if (views.empty()) return InvalidArgument("WMSC needs views");
+  if (k < 2) return InvalidArgument("WMSC needs k >= 2");
+  const int64_t n = views[0].rows;
+
+  std::vector<la::DenseMatrix> embeddings;
+  std::vector<double> weights;
+  embeddings.reserve(views.size());
+  for (const la::CsrMatrix& view : views) {
+    auto eigen = la::SmallestEigenpairs(view, k + 1, 2.0);
+    if (!eigen.ok()) return eigen.status();
+    la::DenseMatrix u = std::move(eigen->vectors);
+    // Drop the lambda_{k+1} column; rows normalized NJW-style.
+    la::DenseMatrix block(n, k);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int j = 0; j < k; ++j) block(i, j) = u(i, j);
+    }
+    la::NormalizeRows(&block);
+    embeddings.push_back(std::move(block));
+    // View weight: crisper eigengap (small lambda_k / lambda_{k+1}) => higher.
+    const double lk = std::max(0.0, eigen->values[static_cast<size_t>(k) - 1]);
+    const double lk1 = std::max(1e-12, eigen->values[static_cast<size_t>(k)]);
+    weights.push_back(1.0 - std::min(1.0, lk / lk1));
+  }
+  const double weight_sum =
+      std::max(1e-12, std::accumulate(weights.begin(), weights.end(), 0.0));
+
+  WmscResult result;
+  result.embedding = la::DenseMatrix(n, static_cast<int64_t>(views.size()) * k);
+  for (size_t v = 0; v < views.size(); ++v) {
+    const double scale = std::sqrt(weights[v] / weight_sum * views.size());
+    for (int64_t i = 0; i < n; ++i) {
+      for (int j = 0; j < k; ++j) {
+        result.embedding(i, static_cast<int64_t>(v) * k + j) =
+            embeddings[v](i, j) * scale;
+      }
+    }
+  }
+  result.labels = cluster::KMeans(result.embedding, k).labels;
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace sgla

@@ -1,0 +1,27 @@
+#ifndef SGLA_BASELINES_WMSC_H_
+#define SGLA_BASELINES_WMSC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace baselines {
+
+struct WmscResult {
+  std::vector<int32_t> labels;
+  la::DenseMatrix embedding;  ///< concatenated per-view spectral embeddings
+};
+
+/// Weighted multi-view spectral clustering (lite): each view contributes its
+/// k-dimensional spectral embedding, weighted by that view's eigengap
+/// quality; k-means runs on the r*k-dimensional concatenation.
+Result<WmscResult> Wmsc(const std::vector<la::CsrMatrix>& views, int k);
+
+}  // namespace baselines
+}  // namespace sgla
+
+#endif  // SGLA_BASELINES_WMSC_H_

@@ -1,0 +1,111 @@
+#include "cluster/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/eigen_sym.h"
+
+namespace sgla {
+namespace cluster {
+namespace {
+
+/// Polar factor of the k x k matrix M = X^T U via the symmetric
+/// eigendecomposition of M^T M: R = V S^{-1} V^T M^T maximizes tr(R U^T X).
+la::DenseMatrix OptimalRotation(const la::DenseMatrix& m) {
+  const int64_t k = m.rows();
+  la::DenseMatrix mtm(k, k);
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      double sum = 0.0;
+      for (int64_t t = 0; t < k; ++t) sum += m(t, i) * m(t, j);
+      mtm(i, j) = sum;
+    }
+  }
+  la::Vector eigenvalues;
+  la::DenseMatrix v;
+  la::JacobiEigenSymmetric(mtm, &eigenvalues, &v);
+  // pinv-sqrt: V diag(1/sqrt(s)) V^T, guarding tiny singular values.
+  la::DenseMatrix inv_sqrt(k, k);
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < k; ++j) {
+      double sum = 0.0;
+      for (int64_t t = 0; t < k; ++t) {
+        const double s = eigenvalues[static_cast<size_t>(t)];
+        if (s > 1e-12) sum += v(i, t) * v(j, t) / std::sqrt(s);
+      }
+      inv_sqrt(i, j) = sum;
+    }
+  }
+  // R = (M M^T)^{-1/2} M ... computed as inv_sqrt(M^T M) applied on the right:
+  // use R = M * inv_sqrt, the polar factor of M.
+  return la::MatMul(m, inv_sqrt);
+}
+
+}  // namespace
+
+Result<std::vector<int32_t>> DiscretizeSpectral(
+    const la::DenseMatrix& embedding, int max_iterations) {
+  const int64_t n = embedding.rows();
+  const int64_t k = embedding.cols();
+  if (n < k || k < 1) return InvalidArgument("discretize: bad embedding shape");
+
+  la::DenseMatrix u = embedding;
+  la::NormalizeRows(&u);
+
+  // Initial rotation from k far-apart rows (farthest-point seeding).
+  la::DenseMatrix rotation(k, k);
+  std::vector<int64_t> picked;
+  picked.push_back(0);
+  la::Vector min_sim(static_cast<size_t>(n), 2.0);
+  for (int64_t c = 1; c < k; ++c) {
+    int64_t best = 0;
+    double best_sim = 2.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double sim = std::fabs(
+          la::Dot(u.Row(i), u.Row(picked.back()), k));
+      min_sim[static_cast<size_t>(i)] =
+          std::min(min_sim[static_cast<size_t>(i)], 2.0 - sim);
+      if (2.0 - min_sim[static_cast<size_t>(i)] < best_sim) {
+        best_sim = 2.0 - min_sim[static_cast<size_t>(i)];
+        best = i;
+      }
+    }
+    picked.push_back(best);
+  }
+  for (int64_t c = 0; c < k; ++c) {
+    for (int64_t j = 0; j < k; ++j) rotation(j, c) = u(picked[static_cast<size_t>(c)], j);
+  }
+
+  std::vector<int32_t> labels(static_cast<size_t>(n), 0);
+  double last_objective = -1.0;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Snap: each row goes to the rotated axis with the largest projection.
+    la::DenseMatrix projected = la::MatMul(u, rotation);
+    for (int64_t i = 0; i < n; ++i) {
+      int32_t best_c = 0;
+      double best_v = projected(i, 0);
+      for (int64_t c = 1; c < k; ++c) {
+        if (projected(i, c) > best_v) {
+          best_v = projected(i, c);
+          best_c = static_cast<int32_t>(c);
+        }
+      }
+      labels[static_cast<size_t>(i)] = best_c;
+    }
+    // Re-fit: rotation = polar(U^T X) where X is the indicator matrix.
+    la::DenseMatrix utx(k, k);
+    double objective = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const int32_t c = labels[static_cast<size_t>(i)];
+      for (int64_t j = 0; j < k; ++j) utx(j, c) += u(i, j);
+      objective += projected(i, c);
+    }
+    if (std::fabs(objective - last_objective) < 1e-10) break;
+    last_objective = objective;
+    rotation = OptimalRotation(utx);
+  }
+  return labels;
+}
+
+}  // namespace cluster
+}  // namespace sgla

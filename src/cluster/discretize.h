@@ -1,0 +1,22 @@
+#ifndef SGLA_CLUSTER_DISCRETIZE_H_
+#define SGLA_CLUSTER_DISCRETIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace cluster {
+
+/// Yu-Shi discretization: alternates between snapping the (rotated) spectral
+/// embedding to cluster indicators and re-fitting the optimal rotation via a
+/// small SVD. An alternative to k-means as the spectral clustering backend.
+Result<std::vector<int32_t>> DiscretizeSpectral(
+    const la::DenseMatrix& embedding, int max_iterations = 30);
+
+}  // namespace cluster
+}  // namespace sgla
+
+#endif  // SGLA_CLUSTER_DISCRETIZE_H_

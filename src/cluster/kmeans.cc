@@ -1,0 +1,120 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace sgla {
+namespace cluster {
+namespace {
+
+/// k-means++ seeding: each next center sampled proportional to D^2.
+la::DenseMatrix PlusPlusInit(const la::DenseMatrix& points, int k, Rng* rng) {
+  const int64_t n = points.rows();
+  const int64_t d = points.cols();
+  la::DenseMatrix centers(k, d);
+  std::vector<double> dist2(static_cast<size_t>(n),
+                            std::numeric_limits<double>::max());
+  int64_t first = rng->UniformInt(0, n - 1);
+  std::copy(points.Row(first), points.Row(first) + d, centers.Row(0));
+  for (int c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      const double d2 =
+          la::SquaredDistance(points.Row(i), centers.Row(c - 1), d);
+      dist2[static_cast<size_t>(i)] = std::min(dist2[static_cast<size_t>(i)], d2);
+      total += dist2[static_cast<size_t>(i)];
+    }
+    int64_t chosen = n - 1;
+    if (total > 0.0) {
+      double target = rng->Uniform() * total;
+      for (int64_t i = 0; i < n; ++i) {
+        target -= dist2[static_cast<size_t>(i)];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng->UniformInt(0, n - 1);
+    }
+    std::copy(points.Row(chosen), points.Row(chosen) + d, centers.Row(c));
+  }
+  return centers;
+}
+
+KMeansResult LloydOnce(const la::DenseMatrix& points, int k,
+                       const KMeansOptions& options, Rng* rng) {
+  const int64_t n = points.rows();
+  const int64_t d = points.cols();
+  KMeansResult result;
+  result.centers = PlusPlusInit(points, k, rng);
+  result.labels.assign(static_cast<size_t>(n), 0);
+
+  std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    result.inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int32_t best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double d2 =
+            la::SquaredDistance(points.Row(i), result.centers.Row(c), d);
+        if (d2 < best) {
+          best = d2;
+          best_c = static_cast<int32_t>(c);
+        }
+      }
+      if (result.labels[static_cast<size_t>(i)] != best_c) {
+        result.labels[static_cast<size_t>(i)] = best_c;
+        changed = true;
+      }
+      result.inertia += best;
+    }
+    if (!changed && iter > 0) break;
+
+    la::DenseMatrix next(k, d);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int32_t c = result.labels[static_cast<size_t>(i)];
+      la::Axpy(1.0, points.Row(i), next.Row(c), d);
+      ++counts[static_cast<size_t>(c)];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) {
+        // Re-seed empty clusters at a random point.
+        const int64_t pick = rng->UniformInt(0, n - 1);
+        std::copy(points.Row(pick), points.Row(pick) + d, next.Row(c));
+      } else {
+        la::Scale(1.0 / static_cast<double>(counts[static_cast<size_t>(c)]),
+                  next.Row(c), d);
+      }
+    }
+    result.centers = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const la::DenseMatrix& points, int k,
+                    const KMeansOptions& options) {
+  SGLA_CHECK(k > 0) << "KMeans needs k > 0";
+  SGLA_CHECK(points.rows() >= k) << "KMeans needs at least k points";
+  Rng rng(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  const int restarts = std::max(1, options.num_init);
+  for (int attempt = 0; attempt < restarts; ++attempt) {
+    KMeansResult candidate = LloydOnce(points, k, options, &rng);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+}  // namespace cluster
+}  // namespace sgla

@@ -1,0 +1,31 @@
+#ifndef SGLA_CLUSTER_KMEANS_H_
+#define SGLA_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense.h"
+
+namespace sgla {
+namespace cluster {
+
+struct KMeansOptions {
+  int num_init = 8;        ///< k-means++ restarts; best inertia wins
+  int max_iterations = 100;
+  uint64_t seed = 5150;
+};
+
+struct KMeansResult {
+  std::vector<int32_t> labels;
+  double inertia = 0.0;   ///< sum of squared distances to assigned centers
+  la::DenseMatrix centers;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Deterministic for a fixed seed.
+KMeansResult KMeans(const la::DenseMatrix& points, int k,
+                    const KMeansOptions& options = {});
+
+}  // namespace cluster
+}  // namespace sgla
+
+#endif  // SGLA_CLUSTER_KMEANS_H_

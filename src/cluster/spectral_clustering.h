@@ -1,0 +1,35 @@
+#ifndef SGLA_CLUSTER_SPECTRAL_CLUSTERING_H_
+#define SGLA_CLUSTER_SPECTRAL_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "la/dense.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace cluster {
+
+struct SpectralEmbeddingOptions {
+  /// Spectrum upper bound passed to the Lanczos complement shift; 2 is valid
+  /// for (convex combinations of) normalized Laplacians.
+  double spectrum_upper_bound = 2.0;
+  int lanczos_subspace = 0;  ///< 0 = auto
+};
+
+/// Row-normalized matrix of the k smallest Laplacian eigenvectors — the
+/// standard NJW spectral embedding used by both clustering backends.
+Result<la::DenseMatrix> SpectralEmbeddingForClustering(
+    const la::CsrMatrix& laplacian, int k,
+    const SpectralEmbeddingOptions& options = {});
+
+/// NJW spectral clustering: spectral embedding + k-means.
+Result<std::vector<int32_t>> SpectralClustering(
+    const la::CsrMatrix& laplacian, int k, const KMeansOptions& kmeans = {});
+
+}  // namespace cluster
+}  // namespace sgla
+
+#endif  // SGLA_CLUSTER_SPECTRAL_CLUSTERING_H_

@@ -1,0 +1,80 @@
+#include "core/aggregator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sgla {
+namespace core {
+
+LaplacianAggregator::LaplacianAggregator(
+    const std::vector<la::CsrMatrix>* views)
+    : views_(views) {
+  SGLA_CHECK(views != nullptr && !views->empty())
+      << "LaplacianAggregator needs at least one view";
+  const int64_t rows = (*views)[0].rows;
+  const int64_t cols = (*views)[0].cols;
+  for (const la::CsrMatrix& v : *views) {
+    SGLA_CHECK(v.rows == rows && v.cols == cols)
+        << "aggregator view shape mismatch";
+  }
+
+  // Build the union pattern with a row-wise k-way merge, recording for every
+  // view the destination slot of each of its nonzeros.
+  aggregate_.rows = rows;
+  aggregate_.cols = cols;
+  aggregate_.row_ptr.assign(static_cast<size_t>(rows) + 1, 0);
+  scatter_.assign(views->size(), {});
+  for (size_t v = 0; v < views->size(); ++v) {
+    scatter_[v].resize(static_cast<size_t>((*views)[v].nnz()));
+  }
+  std::vector<int64_t> cursor(views->size());
+  for (int64_t r = 0; r < rows; ++r) {
+    for (size_t v = 0; v < views->size(); ++v) {
+      cursor[v] = (*views)[v].row_ptr[static_cast<size_t>(r)];
+    }
+    while (true) {
+      int64_t next_col = INT64_MAX;
+      for (size_t v = 0; v < views->size(); ++v) {
+        if (cursor[v] < (*views)[v].row_ptr[static_cast<size_t>(r) + 1]) {
+          next_col = std::min(
+              next_col, (*views)[v].col_idx[static_cast<size_t>(cursor[v])]);
+        }
+      }
+      if (next_col == INT64_MAX) break;
+      const int64_t slot = static_cast<int64_t>(aggregate_.col_idx.size());
+      for (size_t v = 0; v < views->size(); ++v) {
+        int64_t& p = cursor[v];
+        if (p < (*views)[v].row_ptr[static_cast<size_t>(r) + 1] &&
+            (*views)[v].col_idx[static_cast<size_t>(p)] == next_col) {
+          scatter_[v][static_cast<size_t>(p)] = slot;
+          ++p;
+        }
+      }
+      aggregate_.col_idx.push_back(next_col);
+    }
+    aggregate_.row_ptr[static_cast<size_t>(r) + 1] =
+        static_cast<int64_t>(aggregate_.col_idx.size());
+  }
+  aggregate_.values.assign(aggregate_.col_idx.size(), 0.0);
+}
+
+const la::CsrMatrix& LaplacianAggregator::Aggregate(
+    const std::vector<double>& weights) {
+  SGLA_CHECK(weights.size() == views_->size())
+      << "Aggregate weight count mismatch";
+  std::fill(aggregate_.values.begin(), aggregate_.values.end(), 0.0);
+  for (size_t v = 0; v < views_->size(); ++v) {
+    const double w = weights[v];
+    if (w == 0.0) continue;
+    const la::CsrMatrix& view = (*views_)[v];
+    const std::vector<int64_t>& map = scatter_[v];
+    for (size_t p = 0; p < map.size(); ++p) {
+      aggregate_.values[static_cast<size_t>(map[p])] += w * view.values[p];
+    }
+  }
+  return aggregate_;
+}
+
+}  // namespace core
+}  // namespace sgla

@@ -1,0 +1,36 @@
+#ifndef SGLA_CORE_AGGREGATOR_H_
+#define SGLA_CORE_AGGREGATOR_H_
+
+#include <vector>
+
+#include "la/sparse.h"
+
+namespace sgla {
+namespace core {
+
+/// Computes L_w = sum_i w_i L_i repeatedly for changing weights without
+/// rebuilding the union sparsity pattern each time: the pattern and each
+/// view's scatter map into it are precomputed once, so Aggregate() is a pure
+/// fused-multiply pass over the union nnz. This is the hot inner loop of the
+/// SGLA weight search (see DESIGN.md, "aggregator reuse").
+class LaplacianAggregator {
+ public:
+  /// `views` must outlive the aggregator. All views share one shape.
+  explicit LaplacianAggregator(const std::vector<la::CsrMatrix>* views);
+
+  int num_views() const { return static_cast<int>(views_->size()); }
+
+  /// Returns the aggregate for `weights` (size == num_views()). The reference
+  /// stays valid until the next Aggregate() call on this object.
+  const la::CsrMatrix& Aggregate(const std::vector<double>& weights);
+
+ private:
+  const std::vector<la::CsrMatrix>* views_;
+  la::CsrMatrix aggregate_;                      ///< union pattern, reused
+  std::vector<std::vector<int64_t>> scatter_;    ///< view nnz -> union nnz
+};
+
+}  // namespace core
+}  // namespace sgla
+
+#endif  // SGLA_CORE_AGGREGATOR_H_

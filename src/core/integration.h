@@ -1,0 +1,71 @@
+#ifndef SGLA_CORE_INTEGRATION_H_
+#define SGLA_CORE_INTEGRATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/objective.h"
+#include "la/dense.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace core {
+
+/// Derivative-free optimizer used for the SGLA weight search.
+enum class WeightOptimizer {
+  kCobyla,      ///< the paper's choice
+  kNelderMead,  ///< ablation alternative
+};
+
+/// Output of an integration run (SGLA, SGLA+ or a fixed-weight baseline).
+struct IntegrationResult {
+  la::CsrMatrix laplacian;  ///< L_w* = sum_i w*_i L_i
+  la::Vector weights;       ///< w* on the probability simplex
+  /// Best objective value / weight vector after each optimizer iteration
+  /// (for SGLA+ these are the surrogate sample evaluations).
+  std::vector<double> objective_history;
+  std::vector<la::Vector> weight_history;
+};
+
+struct SglaOptions {
+  ObjectiveOptions objective;
+  WeightOptimizer optimizer = WeightOptimizer::kCobyla;
+  /// Early-termination threshold on the per-iteration objective improvement.
+  double epsilon = 1e-3;
+  int max_evaluations = 60;  ///< the paper's T_max
+};
+
+/// Full SGLA: iterative derivative-free minimization of the spectral
+/// objective over the weight simplex, one eigensolve per evaluation.
+Result<IntegrationResult> Sgla(const std::vector<la::CsrMatrix>& views, int k,
+                               const SglaOptions& options = {});
+
+struct SglaPlusOptions {
+  SglaOptions base;
+  /// Extra weight-vector samples beyond the default r+1 (may be negative;
+  /// at least 2 samples are always kept). Fig. 10's delta_s.
+  int sample_delta = 0;
+  /// Node sampling: objective evaluations run on an induced subgraph of at
+  /// most this many nodes (0 disables sampling). The final aggregation always
+  /// uses the full views.
+  int64_t max_objective_nodes = 4096;
+  uint64_t sample_seed = 416;
+  /// Ridge coefficient for the quadratic surrogate fit.
+  double ridge = 0.05;
+};
+
+/// SGLA+: evaluates the objective at a few sampled weight vectors (optionally
+/// on a node-sampled subgraph), fits a quadratic surrogate and aggregates at
+/// the surrogate's simplex minimizer — a constant number of eigensolves.
+Result<IntegrationResult> SglaPlus(const std::vector<la::CsrMatrix>& views,
+                                   int k, const SglaPlusOptions& options = {});
+
+/// The default SGLA+ sample set for r views: the uniform vector plus r
+/// vertex-leaning vectors (r+1 samples, matching the paper's r+1 default).
+std::vector<la::Vector> SglaPlusSamples(int r);
+
+}  // namespace core
+}  // namespace sgla
+
+#endif  // SGLA_CORE_INTEGRATION_H_

@@ -1,0 +1,53 @@
+#ifndef SGLA_CORE_MVAG_H_
+#define SGLA_CORE_MVAG_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "la/dense.h"
+
+namespace sgla {
+namespace core {
+
+/// A multi-view attributed graph: one node set shared by r_g graph views and
+/// r_a attribute views, plus ground-truth cluster labels for evaluation.
+/// The paper's view count r = r_g + r_a (each attribute view induces a KNN
+/// graph view during integration).
+class MultiViewGraph {
+ public:
+  MultiViewGraph() = default;
+  MultiViewGraph(int64_t num_nodes, int num_clusters)
+      : num_nodes_(num_nodes), num_clusters_(num_clusters) {}
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int num_clusters() const { return num_clusters_; }
+  int num_views() const {
+    return static_cast<int>(graph_views_.size() + attribute_views_.size());
+  }
+
+  const std::vector<int32_t>& labels() const { return labels_; }
+  const std::vector<graph::Graph>& graph_views() const { return graph_views_; }
+  const std::vector<la::DenseMatrix>& attribute_views() const {
+    return attribute_views_;
+  }
+
+  void set_labels(std::vector<int32_t> labels) { labels_ = std::move(labels); }
+  void AddGraphView(graph::Graph g) { graph_views_.push_back(std::move(g)); }
+  void AddAttributeView(la::DenseMatrix x) {
+    attribute_views_.push_back(std::move(x));
+  }
+
+ private:
+  int64_t num_nodes_ = 0;
+  int num_clusters_ = 0;
+  std::vector<int32_t> labels_;
+  std::vector<graph::Graph> graph_views_;
+  std::vector<la::DenseMatrix> attribute_views_;
+};
+
+}  // namespace core
+}  // namespace sgla
+
+#endif  // SGLA_CORE_MVAG_H_

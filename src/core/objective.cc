@@ -1,0 +1,56 @@
+#include "core/objective.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/lanczos.h"
+
+namespace sgla {
+namespace core {
+
+SpectralObjective::SpectralObjective(const std::vector<la::CsrMatrix>* views,
+                                     int k, const ObjectiveOptions& options)
+    : aggregator_(views), k_(k), options_(options) {}
+
+Result<ObjectiveValue> SpectralObjective::Evaluate(
+    const std::vector<double>& weights) {
+  if (static_cast<int>(weights.size()) != num_views()) {
+    return InvalidArgument("weight vector size != number of views");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < -1e-9) return InvalidArgument("negative view weight");
+    sum += w;
+  }
+  if (std::fabs(sum - 1.0) > 1e-6) {
+    return InvalidArgument("view weights must lie on the simplex");
+  }
+
+  const la::CsrMatrix& laplacian = aggregator_.Aggregate(weights);
+  // Convex combinations of normalized Laplacians keep the spectrum in [0, 2].
+  la::LanczosOptions lanczos;
+  lanczos.max_subspace = options_.lanczos_subspace;
+  auto eigen = la::SmallestEigenpairs(laplacian, k_ + 1, 2.0, lanczos);
+  if (!eigen.ok()) return eigen.status();
+  ++evaluations_;
+
+  const la::Vector& lambda = eigen->values;
+  ObjectiveValue value;
+  value.lambda2 =
+      lambda.size() > 1 ? std::max(0.0, lambda[1]) : 0.0;
+  const double lk = std::max(0.0, lambda[static_cast<size_t>(k_) - 1]);
+  const double lk1 = std::max(0.0, lambda[static_cast<size_t>(k_)]);
+  // Ratio eigengap: small when the k-cluster structure is crisp. The 1e-12
+  // floor guards graphs with >= k+1 connected components.
+  value.eigengap = lk / std::max(lk1, 1e-12);
+  value.eigengap = std::min(value.eigengap, 1.0);
+
+  value.h = options_.gamma * la::Dot(weights.data(), weights.data(),
+                                     static_cast<int64_t>(weights.size()));
+  if (options_.use_eigengap) value.h += value.eigengap;
+  if (options_.use_connectivity) value.h -= value.lambda2;
+  return value;
+}
+
+}  // namespace core
+}  // namespace sgla

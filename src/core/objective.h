@@ -1,0 +1,68 @@
+#ifndef SGLA_CORE_OBJECTIVE_H_
+#define SGLA_CORE_OBJECTIVE_H_
+
+#include <vector>
+
+#include "core/aggregator.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace core {
+
+struct ObjectiveOptions {
+  /// Weight-regularization coefficient of Eq. 5: gamma * ||w||_2^2 is added
+  /// to the spectral terms. Positive values pull toward uniform weights,
+  /// negative values reward concentrating on a single view.
+  double gamma = 0.5;
+  /// Ablation switches (Fig. 11): the full objective uses both terms.
+  bool use_eigengap = true;
+  bool use_connectivity = true;
+  /// Eigensolver controls; subspace 0 = auto.
+  int lanczos_subspace = 0;
+};
+
+/// One evaluation of the integration objective at a weight vector.
+struct ObjectiveValue {
+  double h = 0.0;         ///< full objective (lower is better)
+  double eigengap = 0.0;  ///< g_k(L_w) = lambda_k / lambda_{k+1}, in [0, 1]
+  double lambda2 = 0.0;   ///< algebraic connectivity of L_w
+};
+
+/// h(w) = g_k(L_w) - lambda_2(L_w) + gamma * ||w||^2, evaluated through one
+/// Lanczos solve on the aggregated Laplacian. The aggregator is owned and
+/// reused across evaluations, so repeated calls only pay values-fill + solve.
+class SpectralObjective {
+ public:
+  /// `views` must outlive the objective.
+  SpectralObjective(const std::vector<la::CsrMatrix>* views, int k,
+                    const ObjectiveOptions& options = {});
+
+  int num_views() const { return aggregator_.num_views(); }
+  int k() const { return k_; }
+  const ObjectiveOptions& options() const { return options_; }
+
+  Result<ObjectiveValue> Evaluate(const std::vector<double>& weights);
+
+  /// The aggregated Laplacian at `weights`, through the same precomputed
+  /// union pattern Evaluate() uses — callers that already ran a weight
+  /// search on this objective avoid rebuilding an aggregator for the final
+  /// result. The reference stays valid until the next Evaluate/AggregateAt.
+  const la::CsrMatrix& AggregateAt(const std::vector<double>& weights) {
+    return aggregator_.Aggregate(weights);
+  }
+
+  /// Number of Evaluate() calls so far (the paper's iteration counter t).
+  int64_t evaluations() const { return evaluations_; }
+
+ private:
+  LaplacianAggregator aggregator_;
+  int k_;
+  ObjectiveOptions options_;
+  int64_t evaluations_ = 0;
+};
+
+}  // namespace core
+}  // namespace sgla
+
+#endif  // SGLA_CORE_OBJECTIVE_H_

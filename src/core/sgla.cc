@@ -1,0 +1,41 @@
+#include <cmath>
+
+#include "core/integration.h"
+#include "opt/simplex.h"
+
+namespace sgla {
+namespace core {
+
+Result<IntegrationResult> Sgla(const std::vector<la::CsrMatrix>& views, int k,
+                               const SglaOptions& options) {
+  if (views.empty()) return InvalidArgument("SGLA needs at least one view");
+  if (k < 2) return InvalidArgument("SGLA needs k >= 2");
+  const int r = static_cast<int>(views.size());
+
+  SpectralObjective objective(&views, k, options.objective);
+  auto h = [&objective](const la::Vector& w) {
+    auto value = objective.Evaluate(w);
+    // Infeasible/failed evaluations repel the optimizer instead of aborting;
+    // projection keeps this path effectively unreachable.
+    return value.ok() ? value->h : 1e30;
+  };
+
+  opt::SimplexOptions simplex;
+  simplex.method = options.optimizer == WeightOptimizer::kNelderMead
+                       ? opt::SimplexMethod::kNelderMead
+                       : opt::SimplexMethod::kCobyla;
+  simplex.epsilon = options.epsilon;
+  simplex.max_evaluations = options.max_evaluations;
+  auto trace = opt::MinimizeOnSimplex(r, h, simplex);
+  if (!trace.ok()) return trace.status();
+
+  IntegrationResult result;
+  result.weights = trace->best_point;
+  result.objective_history = std::move(trace->value_history);
+  result.weight_history = std::move(trace->point_history);
+  result.laplacian = objective.AggregateAt(result.weights);
+  return result;
+}
+
+}  // namespace core
+}  // namespace sgla

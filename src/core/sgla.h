@@ -1,0 +1,8 @@
+#ifndef SGLA_CORE_SGLA_H_
+#define SGLA_CORE_SGLA_H_
+
+// Thin alias header: the SGLA entry points live in core/integration.h so the
+// bench and library code can include either.
+#include "core/integration.h"  // IWYU pragma: export
+
+#endif  // SGLA_CORE_SGLA_H_

@@ -1,0 +1,7 @@
+#ifndef SGLA_CORE_SGLA_PLUS_H_
+#define SGLA_CORE_SGLA_PLUS_H_
+
+// Thin alias header: the SGLA+ entry points live in core/integration.h.
+#include "core/integration.h"  // IWYU pragma: export
+
+#endif  // SGLA_CORE_SGLA_PLUS_H_

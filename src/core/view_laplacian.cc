@@ -1,0 +1,31 @@
+#include "core/view_laplacian.h"
+
+#include "graph/laplacian.h"
+
+namespace sgla {
+namespace core {
+
+Result<std::vector<la::CsrMatrix>> ComputeViewLaplacians(
+    const MultiViewGraph& mvag, const graph::KnnOptions& knn) {
+  if (mvag.num_views() == 0) {
+    return InvalidArgument("multi-view graph has no views");
+  }
+  std::vector<la::CsrMatrix> views;
+  views.reserve(static_cast<size_t>(mvag.num_views()));
+  for (const graph::Graph& g : mvag.graph_views()) {
+    if (g.num_nodes() != mvag.num_nodes()) {
+      return InvalidArgument("graph view node count mismatch");
+    }
+    views.push_back(graph::NormalizedLaplacian(g));
+  }
+  for (const la::DenseMatrix& x : mvag.attribute_views()) {
+    if (x.rows() != mvag.num_nodes()) {
+      return InvalidArgument("attribute view row count mismatch");
+    }
+    views.push_back(graph::NormalizedLaplacian(graph::KnnGraph(x, knn)));
+  }
+  return views;
+}
+
+}  // namespace core
+}  // namespace sgla

@@ -1,0 +1,23 @@
+#ifndef SGLA_CORE_VIEW_LAPLACIAN_H_
+#define SGLA_CORE_VIEW_LAPLACIAN_H_
+
+#include <vector>
+
+#include "core/mvag.h"
+#include "graph/knn.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace core {
+
+/// One normalized Laplacian per view: graph views directly, attribute views
+/// through a KNN graph built with `knn`. Order: graph views first, then
+/// attribute views (matching the paper's L_1..L_r indexing).
+Result<std::vector<la::CsrMatrix>> ComputeViewLaplacians(
+    const MultiViewGraph& mvag, const graph::KnnOptions& knn = {});
+
+}  // namespace core
+}  // namespace sgla
+
+#endif  // SGLA_CORE_VIEW_LAPLACIAN_H_

@@ -1,0 +1,41 @@
+#ifndef SGLA_DATA_DATASETS_H_
+#define SGLA_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/mvag.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace data {
+
+/// One row of the paper's Table II (the reported statistics of the original
+/// datasets; this repo benchmarks synthetic stand-ins of each — DESIGN.md).
+struct PaperDataset {
+  std::string name;       ///< display name, e.g. "Amazon-photos"
+  int64_t nodes = 0;
+  int views = 0;          ///< r = graph views + attribute views
+  std::string edges;      ///< per-view edge counts, "m1; m2; ..."
+  std::string attr_dims;  ///< per-attribute-view dims, "d1; d2; ..."
+  int clusters = 0;
+};
+
+std::vector<PaperDataset> PaperTable2();
+
+/// Canonical dataset keys, in Table II order (lowercase, '-' for spaces).
+std::vector<std::string> DatasetNames();
+
+/// Synthetic stand-in for `name` at the given scale in (0, 1]. Deterministic
+/// per (name, scale). View-quality heterogeneity follows the paper: some
+/// views carry most of the cluster signal, others are noisy.
+Result<core::MultiViewGraph> MakeDataset(const std::string& name, double scale);
+
+/// KNN neighbor count used when turning this dataset's attribute views into
+/// graphs (smaller for tiny scaled-down datasets).
+int RecommendedKnnK(const std::string& name, double scale);
+
+}  // namespace data
+}  // namespace sgla
+
+#endif  // SGLA_DATA_DATASETS_H_

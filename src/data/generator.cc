@@ -1,0 +1,84 @@
+#include "data/generator.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sgla {
+namespace data {
+
+std::vector<int32_t> BalancedLabels(int64_t n, int k, Rng* rng) {
+  SGLA_CHECK(n > 0 && k > 0) << "BalancedLabels needs n > 0, k > 0";
+  std::vector<int32_t> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    labels[static_cast<size_t>(i)] = static_cast<int32_t>(i % k);
+  }
+  rng->Shuffle(&labels);
+  return labels;
+}
+
+graph::Graph SbmGraph(const std::vector<int32_t>& labels, int k, double p_in,
+                      double p_out, Rng* rng) {
+  (void)k;  // labels are authoritative; k documents the intended block count
+  const int64_t n = static_cast<int64_t>(labels.size());
+  graph::Graph g(n);
+  // Geometric skipping: sample the gap to the next edge instead of testing
+  // every pair, so sparse graphs cost O(edges) rather than O(n^2).
+  auto sample_pairs = [&](double p, bool within) {
+    if (p <= 0.0) return;
+    const double log1mp = std::log1p(-p);
+    int64_t pair = -1;  // linear index over the upper triangle
+    const int64_t total_pairs = n * (n - 1) / 2;
+    while (true) {
+      const double u = std::max(rng->Uniform(), 1e-300);
+      const int64_t skip = p >= 1.0
+                               ? 1
+                               : 1 + static_cast<int64_t>(std::floor(
+                                         std::log(u) / log1mp));
+      pair += skip;
+      if (pair >= total_pairs) break;
+      // Invert the triangular index.
+      const double fi =
+          (2.0 * static_cast<double>(n) - 1.0 -
+           std::sqrt((2.0 * n - 1.0) * (2.0 * n - 1.0) -
+                     8.0 * static_cast<double>(pair))) /
+          2.0;
+      int64_t i = static_cast<int64_t>(fi);
+      // Guard floating point at block boundaries.
+      while (i > 0 && pair < i * n - i * (i + 1) / 2) --i;
+      while (pair >= (i + 1) * n - (i + 1) * (i + 2) / 2) ++i;
+      const int64_t j = pair - (i * n - i * (i + 1) / 2) + i + 1;
+      const bool same = labels[static_cast<size_t>(i)] ==
+                        labels[static_cast<size_t>(j)];
+      if (same == within) g.AddEdge(i, j, 1.0);
+    }
+  };
+  // Two passes (within then across) keep the distribution exact per pair
+  // class while staying a single streaming loop each.
+  sample_pairs(p_in, /*within=*/true);
+  sample_pairs(p_out, /*within=*/false);
+  return g;
+}
+
+la::DenseMatrix GaussianAttributes(const std::vector<int32_t>& labels, int k,
+                                   int dim, double separation, double noise,
+                                   Rng* rng) {
+  const int64_t n = static_cast<int64_t>(labels.size());
+  la::DenseMatrix centers(k, dim);
+  for (int c = 0; c < k; ++c) {
+    for (int j = 0; j < dim; ++j) {
+      centers(c, j) = separation * rng->Gaussian() / std::sqrt(dim);
+    }
+  }
+  la::DenseMatrix x(n, dim);
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t c = labels[static_cast<size_t>(i)];
+    for (int j = 0; j < dim; ++j) {
+      x(i, j) = centers(c, j) + noise * rng->Gaussian() / std::sqrt(dim);
+    }
+  }
+  return x;
+}
+
+}  // namespace data
+}  // namespace sgla

@@ -1,0 +1,32 @@
+#ifndef SGLA_DATA_GENERATOR_H_
+#define SGLA_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "la/dense.h"
+#include "util/rng.h"
+
+namespace sgla {
+namespace data {
+
+/// n labels in [0, k), balanced up to rounding, in shuffled order.
+std::vector<int32_t> BalancedLabels(int64_t n, int k, Rng* rng);
+
+/// Stochastic block model: within-block edge probability p_in, cross-block
+/// p_out. Labels define the blocks; k is the block count (for documentation —
+/// the labels are authoritative).
+graph::Graph SbmGraph(const std::vector<int32_t>& labels, int k, double p_in,
+                      double p_out, Rng* rng);
+
+/// Gaussian mixture attributes: one spherical cluster per label with center
+/// norm ~ `separation` and per-coordinate noise `noise`.
+la::DenseMatrix GaussianAttributes(const std::vector<int32_t>& labels, int k,
+                                   int dim, double separation, double noise,
+                                   Rng* rng);
+
+}  // namespace data
+}  // namespace sgla
+
+#endif  // SGLA_DATA_GENERATOR_H_

@@ -1,0 +1,26 @@
+#ifndef SGLA_DATA_IO_H_
+#define SGLA_DATA_IO_H_
+
+#include <string>
+
+#include "core/mvag.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace data {
+
+/// Binary CSR snapshot (magic + shape + raw arrays, little-endian host order;
+/// these files are a local cache, not an interchange format).
+Status SaveCsr(const la::CsrMatrix& matrix, const std::string& path);
+Result<la::CsrMatrix> LoadCsr(const std::string& path);
+
+/// Binary multi-view-graph snapshot: labels, graph views (edge lists) and
+/// attribute views (dense blocks).
+Status SaveMvag(const core::MultiViewGraph& mvag, const std::string& path);
+Result<core::MultiViewGraph> LoadMvag(const std::string& path);
+
+}  // namespace data
+}  // namespace sgla
+
+#endif  // SGLA_DATA_IO_H_

@@ -1,0 +1,26 @@
+#ifndef SGLA_EMBED_SKETCHNE_H_
+#define SGLA_EMBED_SKETCHNE_H_
+
+#include "la/dense.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace embed {
+
+struct SketchNeOptions {
+  int dim = 64;
+  int power = 8;  ///< smoothing depth of the sketch subspace iteration
+  uint64_t seed = 4242;
+};
+
+/// Sketch-based embedding for graphs too large for the NetMF eigen path:
+/// a randomized range finder on powers of the normalized adjacency
+/// (I - L), i.e. the dominant smoothed subspace, orthonormalized.
+Result<la::DenseMatrix> SketchNe(const la::CsrMatrix& laplacian,
+                                 const SketchNeOptions& options = {});
+
+}  // namespace embed
+}  // namespace sgla
+
+#endif  // SGLA_EMBED_SKETCHNE_H_

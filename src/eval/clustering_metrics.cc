@@ -1,0 +1,213 @@
+#include "eval/clustering_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.h"
+
+namespace sgla {
+namespace eval {
+namespace {
+
+/// Remaps arbitrary label values to dense 0..k-1 ids.
+std::vector<int> Densify(const std::vector<int32_t>& labels, int* k_out) {
+  std::map<int32_t, int> ids;
+  std::vector<int> dense(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    auto [it, inserted] = ids.emplace(labels[i], static_cast<int>(ids.size()));
+    dense[i] = it->second;
+  }
+  *k_out = static_cast<int>(ids.size());
+  return dense;
+}
+
+/// Max-profit assignment on a rows x cols profit matrix (Hungarian algorithm
+/// with potentials, O(k^3)); returns for each row its assigned column.
+std::vector<int> HungarianMaxProfit(const std::vector<std::vector<double>>& profit) {
+  const int rows = static_cast<int>(profit.size());
+  const int cols = static_cast<int>(profit[0].size());
+  const int n = std::max(rows, cols);
+  // Convert to square min-cost: cost = max_profit - profit, padded with 0.
+  double max_profit = 0.0;
+  for (const auto& row : profit) {
+    for (double p : row) max_profit = std::max(max_profit, p);
+  }
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(n) + 1,
+      std::vector<double>(static_cast<size_t>(n) + 1, 0.0));
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      cost[static_cast<size_t>(i) + 1][static_cast<size_t>(j) + 1] =
+          max_profit - profit[static_cast<size_t>(i)][static_cast<size_t>(j)];
+    }
+  }
+  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<int> match(static_cast<size_t>(n) + 1, 0);  // col -> row
+  std::vector<int> way(static_cast<size_t>(n) + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    match[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(n) + 1, 1e30);
+    std::vector<bool> used(static_cast<size_t>(n) + 1, false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      const int i0 = match[static_cast<size_t>(j0)];
+      double delta = 1e30;
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        const double current = cost[static_cast<size_t>(i0)][static_cast<size_t>(j)] -
+                               u[static_cast<size_t>(i0)] - v[static_cast<size_t>(j)];
+        if (current < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = current;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(match[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[static_cast<size_t>(j0)] != 0);
+    do {
+      const int j1 = way[static_cast<size_t>(j0)];
+      match[static_cast<size_t>(j0)] = match[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  std::vector<int> row_to_col(static_cast<size_t>(rows), -1);
+  for (int j = 1; j <= n; ++j) {
+    const int i = match[static_cast<size_t>(j)];
+    if (i >= 1 && i <= rows && j <= cols) row_to_col[static_cast<size_t>(i) - 1] = j - 1;
+  }
+  return row_to_col;
+}
+
+double LogChoose2(double m) { return m * (m - 1.0) / 2.0; }
+
+}  // namespace
+
+ClusteringQuality EvaluateClustering(const std::vector<int32_t>& predicted,
+                                     const std::vector<int32_t>& truth) {
+  SGLA_CHECK(predicted.size() == truth.size())
+      << "EvaluateClustering size mismatch";
+  ClusteringQuality quality;
+  const int64_t n = static_cast<int64_t>(predicted.size());
+  if (n == 0) return quality;
+
+  int kp = 0, kt = 0;
+  const std::vector<int> p = Densify(predicted, &kp);
+  const std::vector<int> t = Densify(truth, &kt);
+
+  // Contingency table.
+  std::vector<std::vector<double>> table(
+      static_cast<size_t>(kp), std::vector<double>(static_cast<size_t>(kt), 0.0));
+  std::vector<double> p_sum(static_cast<size_t>(kp), 0.0);
+  std::vector<double> t_sum(static_cast<size_t>(kt), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    table[static_cast<size_t>(p[static_cast<size_t>(i)])]
+         [static_cast<size_t>(t[static_cast<size_t>(i)])] += 1.0;
+    p_sum[static_cast<size_t>(p[static_cast<size_t>(i)])] += 1.0;
+    t_sum[static_cast<size_t>(t[static_cast<size_t>(i)])] += 1.0;
+  }
+
+  // --- Accuracy + macro F1 under the optimal cluster -> class matching.
+  const std::vector<int> assignment = HungarianMaxProfit(table);
+  double correct = 0.0;
+  for (int c = 0; c < kp; ++c) {
+    if (assignment[static_cast<size_t>(c)] >= 0) {
+      correct += table[static_cast<size_t>(c)]
+                      [static_cast<size_t>(assignment[static_cast<size_t>(c)])];
+    }
+  }
+  quality.accuracy = correct / static_cast<double>(n);
+
+  double f1_sum = 0.0;
+  for (int g = 0; g < kt; ++g) {
+    double tp = 0.0, predicted_count = 0.0;
+    for (int c = 0; c < kp; ++c) {
+      if (assignment[static_cast<size_t>(c)] == g) {
+        tp += table[static_cast<size_t>(c)][static_cast<size_t>(g)];
+        predicted_count += p_sum[static_cast<size_t>(c)];
+      }
+    }
+    const double precision = predicted_count > 0.0 ? tp / predicted_count : 0.0;
+    const double recall = t_sum[static_cast<size_t>(g)] > 0.0
+                              ? tp / t_sum[static_cast<size_t>(g)]
+                              : 0.0;
+    f1_sum += (precision + recall) > 0.0
+                  ? 2.0 * precision * recall / (precision + recall)
+                  : 0.0;
+  }
+  quality.macro_f1 = f1_sum / static_cast<double>(kt);
+
+  // --- Purity.
+  double purity_sum = 0.0;
+  for (int c = 0; c < kp; ++c) {
+    purity_sum += *std::max_element(table[static_cast<size_t>(c)].begin(),
+                                    table[static_cast<size_t>(c)].end());
+  }
+  quality.purity = purity_sum / static_cast<double>(n);
+
+  // --- NMI (sqrt normalization).
+  double mutual = 0.0, hp = 0.0, ht = 0.0;
+  const double dn = static_cast<double>(n);
+  for (int c = 0; c < kp; ++c) {
+    if (p_sum[static_cast<size_t>(c)] > 0.0) {
+      const double q = p_sum[static_cast<size_t>(c)] / dn;
+      hp -= q * std::log(q);
+    }
+    for (int g = 0; g < kt; ++g) {
+      const double joint = table[static_cast<size_t>(c)][static_cast<size_t>(g)] / dn;
+      if (joint > 0.0) {
+        mutual += joint * std::log(joint * dn * dn /
+                                   (p_sum[static_cast<size_t>(c)] *
+                                    t_sum[static_cast<size_t>(g)]));
+      }
+    }
+  }
+  for (int g = 0; g < kt; ++g) {
+    if (t_sum[static_cast<size_t>(g)] > 0.0) {
+      const double q = t_sum[static_cast<size_t>(g)] / dn;
+      ht -= q * std::log(q);
+    }
+  }
+  const double denom = std::sqrt(hp * ht);
+  quality.nmi = denom > 1e-12 ? mutual / denom : (kp == 1 && kt == 1 ? 1.0 : 0.0);
+  quality.nmi = std::max(0.0, std::min(1.0, quality.nmi));
+
+  // --- ARI.
+  double sum_cells = 0.0, sum_p = 0.0, sum_t = 0.0;
+  for (int c = 0; c < kp; ++c) {
+    sum_p += LogChoose2(p_sum[static_cast<size_t>(c)]);
+    for (int g = 0; g < kt; ++g) {
+      sum_cells += LogChoose2(table[static_cast<size_t>(c)][static_cast<size_t>(g)]);
+    }
+  }
+  for (int g = 0; g < kt; ++g) sum_t += LogChoose2(t_sum[static_cast<size_t>(g)]);
+  const double total_pairs = LogChoose2(dn);
+  const double expected = total_pairs > 0.0 ? sum_p * sum_t / total_pairs : 0.0;
+  const double max_index = 0.5 * (sum_p + sum_t);
+  quality.ari = std::fabs(max_index - expected) > 1e-12
+                    ? (sum_cells - expected) / (max_index - expected)
+                    : 1.0;
+  return quality;
+}
+
+double ClusteringAccuracy(const std::vector<int32_t>& predicted,
+                          const std::vector<int32_t>& truth) {
+  return EvaluateClustering(predicted, truth).accuracy;
+}
+
+}  // namespace eval
+}  // namespace sgla

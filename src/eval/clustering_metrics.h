@@ -1,0 +1,31 @@
+#ifndef SGLA_EVAL_CLUSTERING_METRICS_H_
+#define SGLA_EVAL_CLUSTERING_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sgla {
+namespace eval {
+
+struct ClusteringQuality {
+  double accuracy = 0.0;  ///< Hungarian-matched accuracy
+  double macro_f1 = 0.0;  ///< macro F1 under the same matching
+  double nmi = 0.0;       ///< normalized mutual information (sqrt norm)
+  double ari = 0.0;       ///< adjusted Rand index
+  double purity = 0.0;
+};
+
+/// All clustering metrics at once. Label values only need to be consistent
+/// within each vector; every metric is invariant to relabeling.
+ClusteringQuality EvaluateClustering(const std::vector<int32_t>& predicted,
+                                     const std::vector<int32_t>& truth);
+
+/// Hungarian-matched clustering accuracy only (cheaper when that is all the
+/// caller needs).
+double ClusteringAccuracy(const std::vector<int32_t>& predicted,
+                          const std::vector<int32_t>& truth);
+
+}  // namespace eval
+}  // namespace sgla
+
+#endif  // SGLA_EVAL_CLUSTERING_METRICS_H_

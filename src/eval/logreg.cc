@@ -1,0 +1,161 @@
+#include "eval/logreg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sgla {
+namespace eval {
+namespace {
+
+struct F1Counts {
+  double tp = 0.0, fp = 0.0, fn = 0.0;
+};
+
+}  // namespace
+
+Result<EmbeddingQuality> EvaluateEmbedding(const la::DenseMatrix& embedding,
+                                           const std::vector<int32_t>& labels,
+                                           int num_classes,
+                                           double train_fraction,
+                                           uint64_t seed) {
+  const int64_t n = embedding.rows();
+  const int64_t d = embedding.cols();
+  if (n != static_cast<int64_t>(labels.size())) {
+    return InvalidArgument("embedding/label row mismatch");
+  }
+  if (n == 0 || d == 0) return InvalidArgument("empty embedding");
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    return InvalidArgument("train_fraction must be in (0, 1)");
+  }
+  const int k = num_classes;
+
+  // Standardize features (fit on all rows; the split is about labels).
+  la::DenseMatrix x = embedding;
+  for (int64_t j = 0; j < d; ++j) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t i = 0; i < n; ++i) mean += x(i, j);
+    mean /= static_cast<double>(n);
+    for (int64_t i = 0; i < n; ++i) {
+      const double c = x(i, j) - mean;
+      var += c * c;
+    }
+    const double scale = var > 1e-12 ? 1.0 / std::sqrt(var / n) : 0.0;
+    for (int64_t i = 0; i < n; ++i) x(i, j) = (x(i, j) - mean) * scale;
+  }
+
+  // Stratified split: at least one training node per represented class.
+  Rng rng(seed);
+  std::vector<std::vector<int64_t>> by_class(static_cast<size_t>(k));
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t c = labels[static_cast<size_t>(i)];
+    if (c < 0 || c >= k) return InvalidArgument("label outside [0, k)");
+    by_class[static_cast<size_t>(c)].push_back(i);
+  }
+  std::vector<int64_t> train, test;
+  for (auto& members : by_class) {
+    rng.Shuffle(&members);
+    const int64_t take = std::max<int64_t>(
+        members.empty() ? 0 : 1,
+        static_cast<int64_t>(std::llround(train_fraction *
+                                          static_cast<double>(members.size()))));
+    for (size_t i = 0; i < members.size(); ++i) {
+      (static_cast<int64_t>(i) < take ? train : test).push_back(members[i]);
+    }
+  }
+  if (train.empty() || test.empty()) {
+    return FailedPrecondition("train/test split degenerate");
+  }
+
+  // Multinomial logistic regression, full-batch gradient descent.
+  la::DenseMatrix weights(k, d);
+  la::Vector bias(static_cast<size_t>(k), 0.0);
+  const double l2 = 1e-4;
+  double lr = 0.5;
+  la::Vector logits(static_cast<size_t>(k));
+  la::DenseMatrix gradient(k, d);
+  la::Vector gradient_bias(static_cast<size_t>(k));
+  const double inv_m = 1.0 / static_cast<double>(train.size());
+  double last_loss = 1e30;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::fill(gradient.data().begin(), gradient.data().end(), 0.0);
+    std::fill(gradient_bias.begin(), gradient_bias.end(), 0.0);
+    double loss = 0.0;
+    for (int64_t idx : train) {
+      const double* row = x.Row(idx);
+      double max_logit = -1e30;
+      for (int c = 0; c < k; ++c) {
+        logits[static_cast<size_t>(c)] =
+            la::Dot(weights.Row(c), row, d) + bias[static_cast<size_t>(c)];
+        max_logit = std::max(max_logit, logits[static_cast<size_t>(c)]);
+      }
+      double z = 0.0;
+      for (int c = 0; c < k; ++c) {
+        logits[static_cast<size_t>(c)] =
+            std::exp(logits[static_cast<size_t>(c)] - max_logit);
+        z += logits[static_cast<size_t>(c)];
+      }
+      const int32_t y = labels[static_cast<size_t>(idx)];
+      for (int c = 0; c < k; ++c) {
+        const double prob = logits[static_cast<size_t>(c)] / z;
+        const double err = (prob - (c == y ? 1.0 : 0.0)) * inv_m;
+        la::Axpy(err, row, gradient.Row(c), d);
+        gradient_bias[static_cast<size_t>(c)] += err;
+        if (c == y) loss -= std::log(std::max(prob, 1e-300)) * inv_m;
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      for (int64_t j = 0; j < d; ++j) {
+        weights(c, j) -= lr * (gradient(c, j) + l2 * weights(c, j));
+      }
+      bias[static_cast<size_t>(c)] -= lr * gradient_bias[static_cast<size_t>(c)];
+    }
+    if (loss > last_loss) lr *= 0.7;  // crude but robust step control
+    last_loss = loss;
+  }
+
+  // F1 on the held-out nodes.
+  std::vector<F1Counts> counts(static_cast<size_t>(k));
+  double correct = 0.0;
+  for (int64_t idx : test) {
+    const double* row = x.Row(idx);
+    int best_c = 0;
+    double best_v = -1e30;
+    for (int c = 0; c < k; ++c) {
+      const double v = la::Dot(weights.Row(c), row, d) + bias[static_cast<size_t>(c)];
+      if (v > best_v) {
+        best_v = v;
+        best_c = c;
+      }
+    }
+    const int32_t y = labels[static_cast<size_t>(idx)];
+    if (best_c == y) {
+      counts[static_cast<size_t>(y)].tp += 1.0;
+      correct += 1.0;
+    } else {
+      counts[static_cast<size_t>(best_c)].fp += 1.0;
+      counts[static_cast<size_t>(y)].fn += 1.0;
+    }
+  }
+  EmbeddingQuality quality;
+  // With single-label multiclass prediction, micro-F1 equals accuracy.
+  quality.micro_f1 = correct / static_cast<double>(test.size());
+  double f1_sum = 0.0;
+  int represented = 0;
+  for (int c = 0; c < k; ++c) {
+    const F1Counts& f = counts[static_cast<size_t>(c)];
+    if (by_class[static_cast<size_t>(c)].empty()) continue;
+    ++represented;
+    const double precision = f.tp + f.fp > 0.0 ? f.tp / (f.tp + f.fp) : 0.0;
+    const double recall = f.tp + f.fn > 0.0 ? f.tp / (f.tp + f.fn) : 0.0;
+    f1_sum += precision + recall > 0.0
+                  ? 2.0 * precision * recall / (precision + recall)
+                  : 0.0;
+  }
+  quality.macro_f1 = represented > 0 ? f1_sum / represented : 0.0;
+  return quality;
+}
+
+}  // namespace eval
+}  // namespace sgla

@@ -1,0 +1,30 @@
+#ifndef SGLA_EVAL_LOGREG_H_
+#define SGLA_EVAL_LOGREG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace eval {
+
+struct EmbeddingQuality {
+  double macro_f1 = 0.0;
+  double micro_f1 = 0.0;
+};
+
+/// The paper's embedding protocol: train a multinomial logistic-regression
+/// classifier on `train_fraction` of the nodes (stratified, deterministic)
+/// and report Macro-/Micro-F1 on the rest.
+Result<EmbeddingQuality> EvaluateEmbedding(const la::DenseMatrix& embedding,
+                                           const std::vector<int32_t>& labels,
+                                           int num_classes,
+                                           double train_fraction,
+                                           uint64_t seed = 99);
+
+}  // namespace eval
+}  // namespace sgla
+
+#endif  // SGLA_EVAL_LOGREG_H_

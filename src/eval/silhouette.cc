@@ -1,0 +1,60 @@
+#include "eval/silhouette.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.h"
+
+namespace sgla {
+namespace eval {
+
+double SilhouetteScore(const la::DenseMatrix& points,
+                       const std::vector<int32_t>& labels) {
+  const int64_t n = points.rows();
+  SGLA_CHECK(n == static_cast<int64_t>(labels.size()))
+      << "SilhouetteScore size mismatch";
+  if (n < 2) return 0.0;
+
+  std::map<int32_t, int> cluster_ids;
+  for (int32_t label : labels) {
+    cluster_ids.emplace(label, static_cast<int>(cluster_ids.size()));
+  }
+  const int k = static_cast<int>(cluster_ids.size());
+  if (k < 2) return 0.0;
+
+  std::vector<int> dense(static_cast<size_t>(n));
+  std::vector<int64_t> sizes(static_cast<size_t>(k), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    dense[static_cast<size_t>(i)] = cluster_ids[labels[static_cast<size_t>(i)]];
+    ++sizes[static_cast<size_t>(dense[static_cast<size_t>(i)])];
+  }
+
+  double total = 0.0;
+  std::vector<double> mean_dist(static_cast<size_t>(k));
+  for (int64_t i = 0; i < n; ++i) {
+    std::fill(mean_dist.begin(), mean_dist.end(), 0.0);
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double dist = std::sqrt(
+          la::SquaredDistance(points.Row(i), points.Row(j), points.cols()));
+      mean_dist[static_cast<size_t>(dense[static_cast<size_t>(j)])] += dist;
+    }
+    const int own = dense[static_cast<size_t>(i)];
+    if (sizes[static_cast<size_t>(own)] <= 1) continue;  // singleton: s = 0
+    double a = mean_dist[static_cast<size_t>(own)] /
+               static_cast<double>(sizes[static_cast<size_t>(own)] - 1);
+    double b = 1e30;
+    for (int c = 0; c < k; ++c) {
+      if (c == own || sizes[static_cast<size_t>(c)] == 0) continue;
+      b = std::min(b, mean_dist[static_cast<size_t>(c)] /
+                          static_cast<double>(sizes[static_cast<size_t>(c)]));
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace eval
+}  // namespace sgla

@@ -1,0 +1,20 @@
+#ifndef SGLA_EVAL_SILHOUETTE_H_
+#define SGLA_EVAL_SILHOUETTE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense.h"
+
+namespace sgla {
+namespace eval {
+
+/// Mean silhouette coefficient over all points (Euclidean distance, exact
+/// O(n^2) pairwise pass). Singleton clusters contribute 0, matching sklearn.
+double SilhouetteScore(const la::DenseMatrix& points,
+                       const std::vector<int32_t>& labels);
+
+}  // namespace eval
+}  // namespace sgla
+
+#endif  // SGLA_EVAL_SILHOUETTE_H_

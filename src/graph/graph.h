@@ -1,0 +1,47 @@
+#ifndef SGLA_GRAPH_GRAPH_H_
+#define SGLA_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sgla {
+namespace graph {
+
+/// Undirected weighted edge. Self loops are ignored by the Laplacian builder.
+struct Edge {
+  int64_t u = 0;
+  int64_t v = 0;
+  double weight = 1.0;
+};
+
+/// Undirected weighted graph stored as an edge list. Parallel edges are
+/// allowed; consumers that need a canonical form (Laplacian, aggregation)
+/// coalesce duplicates themselves.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int64_t num_nodes) : num_nodes_(num_nodes) {}
+
+  static Graph FromEdges(int64_t num_nodes, std::vector<Edge> edges) {
+    Graph g(num_nodes);
+    g.edges_ = std::move(edges);
+    return g;
+  }
+
+  void AddEdge(int64_t u, int64_t v, double weight = 1.0) {
+    edges_.push_back({u, v, weight});
+  }
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  int64_t num_nodes_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace graph
+}  // namespace sgla
+
+#endif  // SGLA_GRAPH_GRAPH_H_

@@ -1,0 +1,132 @@
+#include "graph/knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace sgla {
+namespace graph {
+namespace {
+
+using Candidate = std::pair<double, int64_t>;  // (squared distance, neighbor)
+
+/// Keeps the k best candidates per node in a bounded max-heap-ish vector.
+class NeighborHeap {
+ public:
+  NeighborHeap(int64_t n, int k) : k_(k), heaps_(static_cast<size_t>(n)) {}
+
+  void Offer(int64_t node, int64_t neighbor, double dist2) {
+    auto& heap = heaps_[static_cast<size_t>(node)];
+    // Different RP trees re-offer the same pair; duplicates would crowd out
+    // genuine neighbors (k is small, so a linear scan is cheapest).
+    for (const Candidate& c : heap) {
+      if (c.second == neighbor) return;
+    }
+    if (static_cast<int>(heap.size()) < k_) {
+      heap.push_back({dist2, neighbor});
+      std::push_heap(heap.begin(), heap.end());
+    } else if (dist2 < heap.front().first) {
+      std::pop_heap(heap.begin(), heap.end());
+      heap.back() = {dist2, neighbor};
+      std::push_heap(heap.begin(), heap.end());
+    }
+  }
+
+  const std::vector<Candidate>& Of(int64_t node) const {
+    return heaps_[static_cast<size_t>(node)];
+  }
+
+ private:
+  int k_;
+  std::vector<std::vector<Candidate>> heaps_;
+};
+
+void BruteForceBlock(const la::DenseMatrix& points,
+                     const std::vector<int64_t>& block, NeighborHeap* heap) {
+  const int64_t d = points.cols();
+  for (size_t a = 0; a < block.size(); ++a) {
+    for (size_t b = a + 1; b < block.size(); ++b) {
+      const int64_t i = block[a];
+      const int64_t j = block[b];
+      const double dist2 =
+          la::SquaredDistance(points.Row(i), points.Row(j), d);
+      heap->Offer(i, j, dist2);
+      heap->Offer(j, i, dist2);
+    }
+  }
+}
+
+/// Recursively splits `nodes` by a random hyperplane until leaves are small,
+/// then brute-forces each leaf into the shared neighbor heap.
+void RpTreeSplit(const la::DenseMatrix& points, std::vector<int64_t> nodes,
+                 int leaf_size, Rng* rng, NeighborHeap* heap) {
+  if (static_cast<int>(nodes.size()) <= leaf_size) {
+    BruteForceBlock(points, nodes, heap);
+    return;
+  }
+  const int64_t d = points.cols();
+  la::Vector direction(static_cast<size_t>(d));
+  for (int64_t j = 0; j < d; ++j) direction[static_cast<size_t>(j)] = rng->Gaussian();
+
+  std::vector<double> projection(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    projection[i] = la::Dot(points.Row(nodes[i]), direction.data(), d);
+  }
+  std::vector<double> sorted = projection;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double median = sorted[sorted.size() / 2];
+
+  std::vector<int64_t> left, right;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    (projection[i] < median ? left : right).push_back(nodes[i]);
+  }
+  // Degenerate projections (many ties) fall back to an even split.
+  if (left.empty() || right.empty()) {
+    left.assign(nodes.begin(), nodes.begin() + nodes.size() / 2);
+    right.assign(nodes.begin() + nodes.size() / 2, nodes.end());
+  }
+  RpTreeSplit(points, std::move(left), leaf_size, rng, heap);
+  RpTreeSplit(points, std::move(right), leaf_size, rng, heap);
+}
+
+}  // namespace
+
+Graph KnnGraph(const la::DenseMatrix& points, const KnnOptions& options) {
+  const int64_t n = points.rows();
+  SGLA_CHECK(options.k > 0) << "KnnGraph needs k > 0";
+  NeighborHeap heap(n, options.k);
+
+  if (n <= options.exact_threshold) {
+    std::vector<int64_t> all(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+    BruteForceBlock(points, all, &heap);
+  } else {
+    Rng rng(options.seed);
+    for (int t = 0; t < options.trees; ++t) {
+      std::vector<int64_t> all(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+      RpTreeSplit(points, std::move(all), options.leaf_size, &rng, &heap);
+    }
+  }
+
+  // Union-symmetrize: i~j if j is in i's top-k or vice versa.
+  std::set<std::pair<int64_t, int64_t>> edges;
+  for (int64_t i = 0; i < n; ++i) {
+    for (const Candidate& c : heap.Of(i)) {
+      const int64_t j = c.second;
+      edges.insert({std::min(i, j), std::max(i, j)});
+    }
+  }
+  Graph g(n);
+  for (const auto& [u, v] : edges) g.AddEdge(u, v, 1.0);
+  return g;
+}
+
+}  // namespace graph
+}  // namespace sgla

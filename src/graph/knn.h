@@ -1,0 +1,29 @@
+#ifndef SGLA_GRAPH_KNN_H_
+#define SGLA_GRAPH_KNN_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "la/dense.h"
+
+namespace sgla {
+namespace graph {
+
+struct KnnOptions {
+  int k = 10;
+  /// Below this node count the exact O(n^2 d) scan is used; above it, a
+  /// random-projection forest approximation.
+  int64_t exact_threshold = 2048;
+  int trees = 8;          ///< RP-forest size (approximate path)
+  int leaf_size = 96;     ///< brute-force leaves of each tree
+  uint64_t seed = 9176;
+};
+
+/// Symmetric k-nearest-neighbor graph over the rows of `points` (Euclidean
+/// distance, unit edge weights, union-symmetrized).
+Graph KnnGraph(const la::DenseMatrix& points, const KnnOptions& options = {});
+
+}  // namespace graph
+}  // namespace sgla
+
+#endif  // SGLA_GRAPH_KNN_H_

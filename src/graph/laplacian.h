@@ -1,0 +1,23 @@
+#ifndef SGLA_GRAPH_LAPLACIAN_H_
+#define SGLA_GRAPH_LAPLACIAN_H_
+
+#include "graph/graph.h"
+#include "la/sparse.h"
+
+namespace sgla {
+namespace graph {
+
+/// Symmetric normalized Laplacian L = I - D^{-1/2} A D^{-1/2}. Edges are
+/// symmetrized and coalesced; self loops are dropped. Isolated nodes get an
+/// all-zero row (their Laplacian block is 0), keeping the spectrum in [0, 2].
+la::CsrMatrix NormalizedLaplacian(const Graph& g);
+
+/// Symmetric normalized adjacency D^{-1/2} A D^{-1/2} (the same matrix with
+/// the identity removed and negated) — the smoothing operator used by the
+/// filtering baselines and embedding code.
+la::CsrMatrix NormalizedAdjacency(const Graph& g);
+
+}  // namespace graph
+}  // namespace sgla
+
+#endif  // SGLA_GRAPH_LAPLACIAN_H_

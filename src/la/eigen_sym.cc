@@ -1,0 +1,73 @@
+#include "la/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace sgla {
+namespace la {
+
+void JacobiEigenSymmetric(const DenseMatrix& matrix, Vector* eigenvalues,
+                          DenseMatrix* eigenvectors_out) {
+  const int64_t n = matrix.rows();
+  SGLA_CHECK(matrix.cols() == n) << "JacobiEigenSymmetric needs a square matrix";
+  DenseMatrix a = matrix;
+  DenseMatrix v(n, n);
+  for (int64_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  const int max_sweeps = 64;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off < 1e-24) break;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int64_t i = 0; i < n; ++i) {
+          const double aip = a(i, p);
+          const double aiq = a(i, q);
+          a(i, p) = c * aip - s * aiq;
+          a(i, q) = s * aip + c * aiq;
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          const double api = a(p, i);
+          const double aqi = a(q, i);
+          a(p, i) = c * api - s * aqi;
+          a(q, i) = s * api + c * aqi;
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int64_t x, int64_t y) { return a(x, x) < a(y, y); });
+
+  eigenvalues->assign(static_cast<size_t>(n), 0.0);
+  *eigenvectors_out = DenseMatrix(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    const int64_t src = order[static_cast<size_t>(j)];
+    (*eigenvalues)[static_cast<size_t>(j)] = a(src, src);
+    for (int64_t i = 0; i < n; ++i) (*eigenvectors_out)(i, j) = v(i, src);
+  }
+}
+
+}  // namespace la
+}  // namespace sgla

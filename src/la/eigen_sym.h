@@ -1,0 +1,19 @@
+#ifndef SGLA_LA_EIGEN_SYM_H_
+#define SGLA_LA_EIGEN_SYM_H_
+
+#include "la/dense.h"
+
+namespace sgla {
+namespace la {
+
+/// Full eigendecomposition of a small dense symmetric matrix via cyclic
+/// Jacobi rotations. Eigenvalues ascending; eigenvectors_out columns match.
+/// Intended for matrices up to a few hundred rows (Lanczos tridiagonals,
+/// Gram matrices, surrogate Hessians) — O(n^3) with a small constant.
+void JacobiEigenSymmetric(const DenseMatrix& matrix, Vector* eigenvalues,
+                          DenseMatrix* eigenvectors_out);
+
+}  // namespace la
+}  // namespace sgla
+
+#endif  // SGLA_LA_EIGEN_SYM_H_

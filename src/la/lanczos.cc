@@ -1,0 +1,230 @@
+#include "la/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/eigen_sym.h"
+#include "util/rng.h"
+
+namespace sgla {
+namespace la {
+namespace {
+
+constexpr int64_t kDenseFallbackThreshold = 96;
+
+Result<Eigenpairs> DenseSmallest(const CsrMatrix& matrix, int k) {
+  const DenseMatrix dense = ToDense(matrix);
+  // Symmetrize defensively: callers promise symmetry but cached/loaded
+  // matrices may carry 1-ulp asymmetry that Jacobi would amplify.
+  DenseMatrix sym(dense.rows(), dense.cols());
+  for (int64_t i = 0; i < dense.rows(); ++i) {
+    for (int64_t j = 0; j < dense.cols(); ++j) {
+      sym(i, j) = 0.5 * (dense(i, j) + dense(j, i));
+    }
+  }
+  Vector all_values;
+  DenseMatrix all_vectors;
+  JacobiEigenSymmetric(sym, &all_values, &all_vectors);
+  Eigenpairs out;
+  out.values.assign(static_cast<size_t>(k), 0.0);
+  out.vectors = DenseMatrix(matrix.rows, k);
+  for (int j = 0; j < k; ++j) {
+    out.values[static_cast<size_t>(j)] = all_values[static_cast<size_t>(j)];
+    for (int64_t i = 0; i < matrix.rows; ++i) {
+      out.vectors(i, j) = all_vectors(i, j);
+    }
+  }
+  return out;
+}
+
+/// One Ritz approximation of an eigenpair of M, values ascending in M.
+struct RitzPair {
+  double value = 0.0;
+  Vector vector;
+  double residual = 0.0;  ///< ||M v - value v||
+};
+
+/// One Lanczos sweep on B = sigma I - M with full reorthogonalization,
+/// deflated against `locked` (every Krylov vector is kept orthogonal to the
+/// already-converged eigenvectors). Returns up to `want` Ritz pairs,
+/// ascending in M, with exact residuals.
+std::vector<RitzPair> LanczosPass(const CsrMatrix& matrix, double sigma, int m,
+                                  int want,
+                                  const std::vector<Vector>& locked,
+                                  Rng* rng) {
+  const int64_t n = matrix.rows;
+
+  DenseMatrix basis(m, n);  // row-per-basis-vector for contiguous axpys
+  Vector alpha(static_cast<size_t>(m), 0.0);
+  Vector beta(static_cast<size_t>(m), 0.0);  // beta[j] couples v_j, v_{j+1}
+
+  auto deflate = [&](double* x, int upto) {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const Vector& w : locked) {
+        const double proj = Dot(x, w.data(), n);
+        Axpy(-proj, w.data(), x, n);
+      }
+      for (int i = 0; i < upto; ++i) {
+        const double proj = Dot(x, basis.Row(i), n);
+        Axpy(-proj, basis.Row(i), x, n);
+      }
+    }
+  };
+
+  Vector v(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i)] = rng->Gaussian();
+  deflate(v.data(), 0);
+  {
+    const double norm = Norm2(v.data(), n);
+    if (norm < 1e-12) return {};  // locked set spans everything reachable
+    Scale(1.0 / norm, v.data(), n);
+  }
+  std::copy(v.begin(), v.end(), basis.Row(0));
+
+  Vector w(static_cast<size_t>(n));
+  int built = 0;
+  for (int j = 0; j < m; ++j) {
+    built = j + 1;
+    // w = B v_j = sigma v_j - M v_j
+    Spmv(matrix, basis.Row(j), w.data());
+    for (int64_t i = 0; i < n; ++i) {
+      w[static_cast<size_t>(i)] =
+          sigma * basis.Row(j)[i] - w[static_cast<size_t>(i)];
+    }
+    alpha[static_cast<size_t>(j)] = Dot(w.data(), basis.Row(j), n);
+    deflate(w.data(), j + 1);
+    const double norm = Norm2(w.data(), n);
+    if (j + 1 < m) {
+      if (norm < 1e-12) {
+        // Invariant subspace found: restart with a fresh random direction.
+        for (int64_t i = 0; i < n; ++i) {
+          w[static_cast<size_t>(i)] = rng->Gaussian();
+        }
+        deflate(w.data(), j + 1);
+        const double rnorm = Norm2(w.data(), n);
+        if (rnorm < 1e-12) break;  // reachable space exhausted
+        Scale(1.0 / rnorm, w.data(), n);
+        beta[static_cast<size_t>(j)] = 0.0;
+      } else {
+        Scale(1.0 / norm, w.data(), n);
+        beta[static_cast<size_t>(j)] = norm;
+      }
+      std::copy(w.begin(), w.end(), basis.Row(j + 1));
+    }
+  }
+
+  // Rayleigh-Ritz on the tridiagonal (dense Jacobi is fine at these sizes).
+  DenseMatrix tri(built, built);
+  for (int j = 0; j < built; ++j) {
+    tri(j, j) = alpha[static_cast<size_t>(j)];
+    if (j + 1 < built) {
+      tri(j, j + 1) = beta[static_cast<size_t>(j)];
+      tri(j + 1, j) = beta[static_cast<size_t>(j)];
+    }
+  }
+  Vector ritz_values;
+  DenseMatrix ritz_vectors;
+  JacobiEigenSymmetric(tri, &ritz_values, &ritz_vectors);
+
+  // Largest of B == smallest of M; they sit at the end of the ascending list.
+  std::vector<RitzPair> pairs;
+  const int count = std::min(want, built);
+  Vector mv(static_cast<size_t>(n));
+  for (int j = 0; j < count; ++j) {
+    const int src = built - 1 - j;
+    RitzPair pair;
+    pair.value = sigma - ritz_values[static_cast<size_t>(src)];
+    pair.vector.assign(static_cast<size_t>(n), 0.0);
+    for (int t = 0; t < built; ++t) {
+      Axpy(ritz_vectors(t, src), basis.Row(t), pair.vector.data(), n);
+    }
+    const double vnorm = Norm2(pair.vector.data(), n);
+    if (vnorm < 1e-12) continue;
+    Scale(1.0 / vnorm, pair.vector.data(), n);
+    Spmv(matrix, pair.vector.data(), mv.data());
+    Axpy(-pair.value, pair.vector.data(), mv.data(), n);
+    pair.residual = Norm2(mv.data(), n);
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+}  // namespace
+
+Result<Eigenpairs> SmallestEigenpairs(const CsrMatrix& matrix, int k,
+                                      double spectrum_upper_bound,
+                                      const LanczosOptions& options) {
+  const int64_t n = matrix.rows;
+  if (matrix.cols != n) return InvalidArgument("matrix must be square");
+  if (k <= 0) return InvalidArgument("k must be positive");
+  if (k > n) return InvalidArgument("k exceeds matrix dimension");
+  if (n <= kDenseFallbackThreshold || k >= n - 2) {
+    return DenseSmallest(matrix, k);
+  }
+
+  const double sigma = spectrum_upper_bound;
+  int m = options.max_subspace > 0
+              ? options.max_subspace
+              : static_cast<int>(std::min<int64_t>(n, std::max(2 * k + 24, 48)));
+  m = static_cast<int>(std::min<int64_t>(m, n));
+  if (m < k + 2) m = static_cast<int>(std::min<int64_t>(k + 2, n));
+
+  // Single-vector Lanczos sees at most one direction per eigenvalue, so
+  // repeated eigenvalues (disconnected Laplacians!) need deflated restarts:
+  // converged pairs are locked, and the next pass explores their orthogonal
+  // complement until k pairs are resolved.
+  const double tolerance =
+      std::max(options.tolerance, 1e-12) * std::max(1.0, std::fabs(sigma));
+  Rng rng(options.seed);
+  std::vector<RitzPair> locked_pairs;
+  std::vector<Vector> locked_vectors;
+  std::vector<RitzPair> leftovers;  // best unconverged pairs, final pass
+  const int max_passes = 3;
+  for (int pass = 0; pass < max_passes && static_cast<int>(locked_pairs.size()) < k;
+       ++pass) {
+    const int missing = k - static_cast<int>(locked_pairs.size());
+    std::vector<RitzPair> pairs =
+        LanczosPass(matrix, sigma, m, missing + 1, locked_vectors, &rng);
+    if (pairs.empty()) break;
+    bool locked_any = false;
+    leftovers.clear();
+    for (RitzPair& pair : pairs) {
+      if (static_cast<int>(locked_pairs.size()) < k &&
+          pair.residual <= tolerance) {
+        locked_vectors.push_back(pair.vector);
+        locked_pairs.push_back(std::move(pair));
+        locked_any = true;
+      } else {
+        leftovers.push_back(std::move(pair));
+      }
+    }
+    if (!locked_any) break;  // no further progress at this subspace size
+  }
+
+  // Fill any remaining slots with the best unconverged approximations.
+  for (RitzPair& pair : leftovers) {
+    if (static_cast<int>(locked_pairs.size()) >= k) break;
+    locked_pairs.push_back(std::move(pair));
+  }
+  if (static_cast<int>(locked_pairs.size()) < k) {
+    return Internal("Lanczos resolved fewer than k eigenpairs");
+  }
+
+  std::sort(locked_pairs.begin(), locked_pairs.end(),
+            [](const RitzPair& a, const RitzPair& b) {
+              return a.value < b.value;
+            });
+  Eigenpairs out;
+  out.values.assign(static_cast<size_t>(k), 0.0);
+  out.vectors = DenseMatrix(n, k);
+  for (int j = 0; j < k; ++j) {
+    out.values[static_cast<size_t>(j)] = locked_pairs[static_cast<size_t>(j)].value;
+    for (int64_t i = 0; i < n; ++i) {
+      out.vectors(i, j) = locked_pairs[static_cast<size_t>(j)].vector[static_cast<size_t>(i)];
+    }
+  }
+  return out;
+}
+
+}  // namespace la
+}  // namespace sgla

@@ -1,0 +1,34 @@
+#ifndef SGLA_LA_LANCZOS_H_
+#define SGLA_LA_LANCZOS_H_
+
+#include "la/dense.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace la {
+
+struct Eigenpairs {
+  Vector values;        ///< ascending, size k
+  DenseMatrix vectors;  ///< n x k, columns match values
+};
+
+struct LanczosOptions {
+  int max_subspace = 0;        ///< 0 = auto (min(n, max(2k + 24, 48)))
+  double tolerance = 1e-8;     ///< Ritz-residual early exit (relative)
+  uint64_t seed = 20250131;    ///< deterministic start vector
+};
+
+/// The k algebraically smallest eigenpairs of a symmetric matrix, via Lanczos
+/// with full reorthogonalization on the spectral complement
+/// B = spectrum_upper_bound * I - M (so the target pairs become extremal).
+/// For normalized Laplacians, spectrum_upper_bound = 2 is a valid bound.
+/// Small matrices fall back to a dense Jacobi solve.
+Result<Eigenpairs> SmallestEigenpairs(const CsrMatrix& matrix, int k,
+                                      double spectrum_upper_bound,
+                                      const LanczosOptions& options = {});
+
+}  // namespace la
+}  // namespace sgla
+
+#endif  // SGLA_LA_LANCZOS_H_

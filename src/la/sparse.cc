@@ -1,0 +1,157 @@
+#include "la/sparse.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sgla {
+namespace la {
+
+CsrMatrix FromTriplets(int64_t rows, int64_t cols,
+                       std::vector<Triplet> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix m;
+  m.rows = rows;
+  m.cols = cols;
+  m.row_ptr.assign(static_cast<size_t>(rows) + 1, 0);
+  size_t i = 0;
+  while (i < entries.size()) {
+    const int64_t r = entries[i].row;
+    const int64_t c = entries[i].col;
+    SGLA_CHECK(r >= 0 && r < rows && c >= 0 && c < cols)
+        << "triplet out of range: (" << r << "," << c << ")";
+    double sum = 0.0;
+    while (i < entries.size() && entries[i].row == r && entries[i].col == c) {
+      sum += entries[i].value;
+      ++i;
+    }
+    m.col_idx.push_back(c);
+    m.values.push_back(sum);
+    ++m.row_ptr[static_cast<size_t>(r) + 1];
+  }
+  for (int64_t r = 0; r < rows; ++r) {
+    m.row_ptr[static_cast<size_t>(r) + 1] += m.row_ptr[static_cast<size_t>(r)];
+  }
+  return m;
+}
+
+void Spmv(const CsrMatrix& m, const double* x, double* y) {
+  for (int64_t r = 0; r < m.rows; ++r) {
+    double sum = 0.0;
+    const int64_t end = m.row_ptr[static_cast<size_t>(r) + 1];
+    for (int64_t p = m.row_ptr[static_cast<size_t>(r)]; p < end; ++p) {
+      sum += m.values[static_cast<size_t>(p)] *
+             x[m.col_idx[static_cast<size_t>(p)]];
+    }
+    y[r] = sum;
+  }
+}
+
+void SpmvDense(const CsrMatrix& m, const DenseMatrix& x, DenseMatrix* y) {
+  SGLA_CHECK(m.cols == x.rows()) << "SpmvDense shape mismatch";
+  if (y->rows() != m.rows || y->cols() != x.cols()) {
+    *y = DenseMatrix(m.rows, x.cols());
+  }
+  const int64_t d = x.cols();
+  for (int64_t r = 0; r < m.rows; ++r) {
+    double* out = y->Row(r);
+    std::fill(out, out + d, 0.0);
+    const int64_t end = m.row_ptr[static_cast<size_t>(r) + 1];
+    for (int64_t p = m.row_ptr[static_cast<size_t>(r)]; p < end; ++p) {
+      const double v = m.values[static_cast<size_t>(p)];
+      const double* in = x.Row(m.col_idx[static_cast<size_t>(p)]);
+      for (int64_t j = 0; j < d; ++j) out[j] += v * in[j];
+    }
+  }
+}
+
+CsrMatrix WeightedSum(const std::vector<const CsrMatrix*>& views,
+                      const std::vector<double>& weights) {
+  SGLA_CHECK(!views.empty()) << "WeightedSum of zero views";
+  SGLA_CHECK(views.size() == weights.size()) << "views/weights size mismatch";
+  const int64_t rows = views[0]->rows;
+  const int64_t cols = views[0]->cols;
+  for (const CsrMatrix* v : views) {
+    SGLA_CHECK(v->rows == rows && v->cols == cols)
+        << "WeightedSum shape mismatch";
+  }
+
+  CsrMatrix out;
+  out.rows = rows;
+  out.cols = cols;
+  out.row_ptr.assign(static_cast<size_t>(rows) + 1, 0);
+  // Row-wise k-way merge of the sorted column lists.
+  std::vector<int64_t> cursor(views.size());
+  for (int64_t r = 0; r < rows; ++r) {
+    for (size_t v = 0; v < views.size(); ++v) {
+      cursor[v] = views[v]->row_ptr[static_cast<size_t>(r)];
+    }
+    while (true) {
+      int64_t next_col = INT64_MAX;
+      for (size_t v = 0; v < views.size(); ++v) {
+        if (cursor[v] < views[v]->row_ptr[static_cast<size_t>(r) + 1]) {
+          next_col = std::min(
+              next_col, views[v]->col_idx[static_cast<size_t>(cursor[v])]);
+        }
+      }
+      if (next_col == INT64_MAX) break;
+      double sum = 0.0;
+      for (size_t v = 0; v < views.size(); ++v) {
+        int64_t& p = cursor[v];
+        if (p < views[v]->row_ptr[static_cast<size_t>(r) + 1] &&
+            views[v]->col_idx[static_cast<size_t>(p)] == next_col) {
+          sum += weights[v] * views[v]->values[static_cast<size_t>(p)];
+          ++p;
+        }
+      }
+      out.col_idx.push_back(next_col);
+      out.values.push_back(sum);
+    }
+    out.row_ptr[static_cast<size_t>(r) + 1] =
+        static_cast<int64_t>(out.col_idx.size());
+  }
+  return out;
+}
+
+CsrMatrix SymmetricSubmatrix(const CsrMatrix& m,
+                             const std::vector<int64_t>& keep) {
+  std::vector<int64_t> position(static_cast<size_t>(m.cols), -1);
+  for (size_t i = 0; i < keep.size(); ++i) {
+    position[static_cast<size_t>(keep[i])] = static_cast<int64_t>(i);
+  }
+  CsrMatrix out;
+  out.rows = static_cast<int64_t>(keep.size());
+  out.cols = static_cast<int64_t>(keep.size());
+  out.row_ptr.assign(keep.size() + 1, 0);
+  for (size_t i = 0; i < keep.size(); ++i) {
+    const int64_t r = keep[i];
+    const int64_t end = m.row_ptr[static_cast<size_t>(r) + 1];
+    for (int64_t p = m.row_ptr[static_cast<size_t>(r)]; p < end; ++p) {
+      const int64_t c = position[static_cast<size_t>(
+          m.col_idx[static_cast<size_t>(p)])];
+      if (c < 0) continue;
+      out.col_idx.push_back(c);
+      out.values.push_back(m.values[static_cast<size_t>(p)]);
+    }
+    out.row_ptr[i + 1] = static_cast<int64_t>(out.col_idx.size());
+  }
+  return out;
+}
+
+DenseMatrix ToDense(const CsrMatrix& m) {
+  DenseMatrix out(m.rows, m.cols);
+  for (int64_t r = 0; r < m.rows; ++r) {
+    const int64_t end = m.row_ptr[static_cast<size_t>(r) + 1];
+    for (int64_t p = m.row_ptr[static_cast<size_t>(r)]; p < end; ++p) {
+      out(r, m.col_idx[static_cast<size_t>(p)]) +=
+          m.values[static_cast<size_t>(p)];
+    }
+  }
+  return out;
+}
+
+}  // namespace la
+}  // namespace sgla

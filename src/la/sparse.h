@@ -1,0 +1,55 @@
+#ifndef SGLA_LA_SPARSE_H_
+#define SGLA_LA_SPARSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/dense.h"
+
+namespace sgla {
+namespace la {
+
+/// Compressed sparse row matrix with double values. Fields are public: the
+/// aggregator and IO layers build/patch them directly.
+struct CsrMatrix {
+  int64_t rows = 0;
+  int64_t cols = 0;
+  std::vector<int64_t> row_ptr;  ///< size rows + 1
+  std::vector<int64_t> col_idx;  ///< size nnz
+  std::vector<double> values;    ///< size nnz
+
+  int64_t nnz() const { return static_cast<int64_t>(col_idx.size()); }
+};
+
+/// COO triplet used when assembling matrices.
+struct Triplet {
+  int64_t row = 0;
+  int64_t col = 0;
+  double value = 0.0;
+};
+
+/// Builds CSR from triplets, summing duplicates; entries sorted by (row, col).
+CsrMatrix FromTriplets(int64_t rows, int64_t cols, std::vector<Triplet> entries);
+
+/// y = M * x. x has m.cols entries, y has m.rows entries (overwritten).
+void Spmv(const CsrMatrix& m, const double* x, double* y);
+
+/// Y = M * X for a dense block X (n x d), written into Y (rows x d).
+void SpmvDense(const CsrMatrix& m, const DenseMatrix& x, DenseMatrix* y);
+
+/// sum_i weights[i] * views[i]. All views must share shape; the result's
+/// sparsity pattern is the union of the inputs'.
+CsrMatrix WeightedSum(const std::vector<const CsrMatrix*>& views,
+                      const std::vector<double>& weights);
+
+/// Principal submatrix M[keep, keep]; `keep` must be sorted ascending.
+CsrMatrix SymmetricSubmatrix(const CsrMatrix& m,
+                             const std::vector<int64_t>& keep);
+
+/// Densifies (small matrices only; used by tests and tiny fallbacks).
+DenseMatrix ToDense(const CsrMatrix& m);
+
+}  // namespace la
+}  // namespace sgla
+
+#endif  // SGLA_LA_SPARSE_H_

@@ -1,0 +1,93 @@
+#include "la/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/eigen_sym.h"
+#include "util/rng.h"
+
+namespace sgla {
+namespace la {
+
+int64_t OrthonormalizeColumns(DenseMatrix* m) {
+  const int64_t n = m->rows();
+  const int64_t d = m->cols();
+  int64_t kept = 0;
+  Vector col(static_cast<size_t>(n));
+  for (int64_t j = 0; j < d; ++j) {
+    for (int64_t i = 0; i < n; ++i) col[static_cast<size_t>(i)] = (*m)(i, j);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int64_t p = 0; p < j; ++p) {
+        double proj = 0.0;
+        for (int64_t i = 0; i < n; ++i) proj += col[static_cast<size_t>(i)] * (*m)(i, p);
+        for (int64_t i = 0; i < n; ++i) col[static_cast<size_t>(i)] -= proj * (*m)(i, p);
+      }
+    }
+    const double norm = Norm2(col.data(), n);
+    if (norm < 1e-10) {
+      for (int64_t i = 0; i < n; ++i) (*m)(i, j) = 0.0;
+      continue;
+    }
+    for (int64_t i = 0; i < n; ++i) (*m)(i, j) = col[static_cast<size_t>(i)] / norm;
+    ++kept;
+  }
+  return kept;
+}
+
+Result<TruncatedSvdResult> TruncatedSvd(const DenseMatrix& matrix, int rank,
+                                        int power_iterations, uint64_t seed) {
+  const int64_t n = matrix.rows();
+  const int64_t d = matrix.cols();
+  if (n == 0 || d == 0) return InvalidArgument("TruncatedSvd on empty matrix");
+  const int64_t r = std::min<int64_t>(rank, std::min(n, d));
+  if (r <= 0) return InvalidArgument("TruncatedSvd rank must be positive");
+  const int64_t sketch = std::min<int64_t>(r + 8, std::min(n, d));
+
+  Rng rng(seed);
+  DenseMatrix omega(d, sketch);
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = 0; j < sketch; ++j) omega(i, j) = rng.Gaussian();
+  }
+  DenseMatrix q = MatMul(matrix, omega);  // n x sketch
+  OrthonormalizeColumns(&q);
+  for (int it = 0; it < power_iterations; ++it) {
+    DenseMatrix z = MatTMul(matrix, q);  // d x sketch
+    OrthonormalizeColumns(&z);
+    q = MatMul(matrix, z);
+    OrthonormalizeColumns(&q);
+  }
+
+  // B = Q^T A (sketch x d); eigendecompose B B^T (sketch x sketch).
+  DenseMatrix b = MatTMul(q, matrix);
+  DenseMatrix bbt(b.rows(), b.rows());
+  for (int64_t i = 0; i < b.rows(); ++i) {
+    for (int64_t j = i; j < b.rows(); ++j) {
+      const double v = Dot(b.Row(i), b.Row(j), b.cols());
+      bbt(i, j) = v;
+      bbt(j, i) = v;
+    }
+  }
+  Vector eigenvalues;
+  DenseMatrix eigenvectors;
+  JacobiEigenSymmetric(bbt, &eigenvalues, &eigenvectors);
+
+  TruncatedSvdResult out;
+  out.u = DenseMatrix(n, r);
+  out.singular_values.assign(static_cast<size_t>(r), 0.0);
+  for (int64_t j = 0; j < r; ++j) {
+    const int64_t src = b.rows() - 1 - j;  // descending singular values
+    out.singular_values[static_cast<size_t>(j)] =
+        std::sqrt(std::max(0.0, eigenvalues[static_cast<size_t>(src)]));
+    for (int64_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (int64_t t = 0; t < b.rows(); ++t) {
+        sum += q(i, t) * eigenvectors(t, src);
+      }
+      out.u(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+}  // namespace la
+}  // namespace sgla

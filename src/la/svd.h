@@ -1,0 +1,28 @@
+#ifndef SGLA_LA_SVD_H_
+#define SGLA_LA_SVD_H_
+
+#include "la/dense.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace la {
+
+struct TruncatedSvdResult {
+  DenseMatrix u;          ///< n x rank, orthonormal columns
+  Vector singular_values; ///< descending, size rank
+};
+
+/// Randomized truncated SVD (range finder + subspace iteration), suitable for
+/// tall-skinny or moderately sized dense matrices. Deterministic via seed.
+Result<TruncatedSvdResult> TruncatedSvd(const DenseMatrix& matrix, int rank,
+                                        int power_iterations = 2,
+                                        uint64_t seed = 7);
+
+/// In-place modified Gram-Schmidt on the columns of m. Returns the number of
+/// independent columns kept (dependent columns are replaced by zeros).
+int64_t OrthonormalizeColumns(DenseMatrix* m);
+
+}  // namespace la
+}  // namespace sgla
+
+#endif  // SGLA_LA_SVD_H_

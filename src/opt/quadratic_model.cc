@@ -1,0 +1,137 @@
+#include "opt/quadratic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/simplex.h"
+
+namespace sgla {
+namespace opt {
+
+Result<QuadraticModel> QuadraticModel::Fit(
+    const std::vector<la::Vector>& samples, const la::Vector& values,
+    double ridge) {
+  if (samples.empty()) return InvalidArgument("QuadraticModel with no samples");
+  if (samples.size() != values.size()) {
+    return InvalidArgument("sample/value count mismatch");
+  }
+  const int d = static_cast<int>(samples[0].size());
+  for (const la::Vector& s : samples) {
+    if (static_cast<int>(s.size()) != d) {
+      return InvalidArgument("inconsistent sample dimensions");
+    }
+  }
+  if (ridge <= 0.0) return InvalidArgument("ridge must be positive");
+
+  // Feature map: [1, w_1..w_d, {w_i w_j : i <= j}].
+  const int quad_terms = d * (d + 1) / 2;
+  const int p = 1 + d + quad_terms;
+  auto features = [&](const la::Vector& w) {
+    la::Vector phi(static_cast<size_t>(p));
+    phi[0] = 1.0;
+    for (int i = 0; i < d; ++i) phi[static_cast<size_t>(1 + i)] = w[static_cast<size_t>(i)];
+    int t = 1 + d;
+    for (int i = 0; i < d; ++i) {
+      for (int j = i; j < d; ++j, ++t) {
+        phi[static_cast<size_t>(t)] =
+            w[static_cast<size_t>(i)] * w[static_cast<size_t>(j)];
+      }
+    }
+    return phi;
+  };
+
+  la::DenseMatrix gram(p, p);
+  la::Vector rhs(static_cast<size_t>(p), 0.0);
+  for (size_t s = 0; s < samples.size(); ++s) {
+    const la::Vector phi = features(samples[s]);
+    for (int a = 0; a < p; ++a) {
+      for (int b = 0; b < p; ++b) {
+        gram(a, b) += phi[static_cast<size_t>(a)] * phi[static_cast<size_t>(b)];
+      }
+      rhs[static_cast<size_t>(a)] += phi[static_cast<size_t>(a)] * values[s];
+    }
+  }
+  const la::Vector coef =
+      la::SolveRidgedSystem(std::move(gram), std::move(rhs), ridge);
+
+  QuadraticModel model;
+  model.constant_ = coef[0];
+  model.linear_.assign(static_cast<size_t>(d), 0.0);
+  for (int i = 0; i < d; ++i) model.linear_[static_cast<size_t>(i)] = coef[static_cast<size_t>(1 + i)];
+  model.quadratic_ = la::DenseMatrix(d, d);
+  int t = 1 + d;
+  for (int i = 0; i < d; ++i) {
+    for (int j = i; j < d; ++j, ++t) {
+      // phi used w_i w_j once, so c_ij w_i w_j maps to A_ij = A_ji = c_ij for
+      // i != j (0.5 w'Aw doubles the off-diagonal) and A_ii = 2 c_ii.
+      const double c = coef[static_cast<size_t>(t)];
+      if (i == j) {
+        model.quadratic_(i, i) = 2.0 * c;
+      } else {
+        model.quadratic_(i, j) = c;
+        model.quadratic_(j, i) = c;
+      }
+    }
+  }
+  return model;
+}
+
+double QuadraticModel::Evaluate(const la::Vector& w) const {
+  const int d = dim();
+  double value = constant_;
+  for (int i = 0; i < d; ++i) {
+    value += linear_[static_cast<size_t>(i)] * w[static_cast<size_t>(i)];
+    double aw = 0.0;
+    for (int j = 0; j < d; ++j) {
+      aw += quadratic_(i, j) * w[static_cast<size_t>(j)];
+    }
+    value += 0.5 * w[static_cast<size_t>(i)] * aw;
+  }
+  return value;
+}
+
+la::Vector QuadraticModel::MinimizeOnSimplex() const {
+  const int d = dim();
+  la::Vector best(static_cast<size_t>(d), 1.0 / d);
+  double best_value = Evaluate(best);
+
+  // Restarts: uniform center plus each vertex-leaning corner.
+  std::vector<la::Vector> starts;
+  starts.push_back(best);
+  for (int i = 0; i < d; ++i) {
+    la::Vector corner(static_cast<size_t>(d), 0.1 / std::max(1, d - 1));
+    corner[static_cast<size_t>(i)] = 0.9;
+    starts.push_back(ProjectToSimplex(std::move(corner)));
+  }
+
+  for (la::Vector w : starts) {
+    double step = 0.25;
+    for (int iter = 0; iter < 400 && step > 1e-7; ++iter) {
+      la::Vector gradient(static_cast<size_t>(d));
+      for (int i = 0; i < d; ++i) {
+        double g = linear_[static_cast<size_t>(i)];
+        for (int j = 0; j < d; ++j) {
+          g += quadratic_(i, j) * w[static_cast<size_t>(j)];
+        }
+        gradient[static_cast<size_t>(i)] = g;
+      }
+      la::Vector candidate = w;
+      la::Axpy(-step, gradient.data(), candidate.data(), d);
+      candidate = ProjectToSimplex(std::move(candidate));
+      if (Evaluate(candidate) < Evaluate(w) - 1e-14) {
+        w = std::move(candidate);
+      } else {
+        step *= 0.5;
+      }
+    }
+    const double value = Evaluate(w);
+    if (value < best_value) {
+      best_value = value;
+      best = std::move(w);
+    }
+  }
+  return best;
+}
+
+}  // namespace opt
+}  // namespace sgla

@@ -1,0 +1,41 @@
+#ifndef SGLA_OPT_QUADRATIC_MODEL_H_
+#define SGLA_OPT_QUADRATIC_MODEL_H_
+
+#include <vector>
+
+#include "la/dense.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace opt {
+
+/// Quadratic surrogate q(w) = c + b.w + 0.5 w'Aw (A symmetric) fitted to
+/// sampled objective values by ridge-regularized least squares. This is the
+/// SGLA+ model h_Theta*: with only r+1 samples the fit is underdetermined,
+/// and the ridge picks the minimum-norm coefficients the paper's closed form
+/// corresponds to.
+class QuadraticModel {
+ public:
+  /// samples[i] is a weight vector, values[i] the objective there. All
+  /// samples share the dimension; `ridge` > 0 regularizes the coefficients.
+  static Result<QuadraticModel> Fit(const std::vector<la::Vector>& samples,
+                                    const la::Vector& values, double ridge);
+
+  double Evaluate(const la::Vector& w) const;
+
+  /// Minimizes the model over the probability simplex (projected gradient
+  /// descent with restarts; exact enough for the small view counts here).
+  la::Vector MinimizeOnSimplex() const;
+
+  int dim() const { return static_cast<int>(linear_.size()); }
+
+ private:
+  double constant_ = 0.0;
+  la::Vector linear_;
+  la::DenseMatrix quadratic_;  // symmetric dim x dim
+};
+
+}  // namespace opt
+}  // namespace sgla
+
+#endif  // SGLA_OPT_QUADRATIC_MODEL_H_

@@ -1,0 +1,54 @@
+#ifndef SGLA_UTIL_LOGGING_H_
+#define SGLA_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace sgla {
+namespace internal {
+
+/// Accumulates a failure message and aborts on destruction. Used by the
+/// SGLA_CHECK family; the streamed payload is printed after the condition.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "[SGLA CHECK FAILED] " << file << ":" << line << " (" << condition
+            << ") ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the ostream so the macro expands to a void expression.
+struct CheckVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace sgla
+
+#define SGLA_CHECK(condition)                                   \
+  (condition) ? (void)0                                         \
+              : ::sgla::internal::CheckVoidify() &              \
+                    ::sgla::internal::CheckFailure(__FILE__, __LINE__, \
+                                                   #condition)  \
+                        .stream()
+
+#define SGLA_CHECK_OK(expression)                                          \
+  do {                                                                     \
+    const auto& sgla_check_ok_status =                                     \
+        ::sgla::internal::AsStatus((expression));                          \
+    SGLA_CHECK(sgla_check_ok_status.ok()) << sgla_check_ok_status.ToString(); \
+  } while (0)
+
+#endif  // SGLA_UTIL_LOGGING_H_

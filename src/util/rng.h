@@ -1,0 +1,106 @@
+#ifndef SGLA_UTIL_RNG_H_
+#define SGLA_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace sgla {
+
+/// Deterministic xoshiro256++ generator with hand-rolled distributions so
+/// results are bit-identical across platforms and standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 1) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    for (int i = 0; i < 4; ++i) {
+      z += 0x9e3779b97f4a7c15ull;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      state_[i] = x ^ (x >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double Gaussian() {
+    double u1 = Uniform();
+    while (u1 <= 1e-300) u1 = Uniform();
+    const double u2 = Uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// `count` distinct indices sampled from [0, n), sorted ascending.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t count);
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+inline std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n,
+                                                          int64_t count) {
+  if (count >= n) {
+    std::vector<int64_t> all(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+    return all;
+  }
+  // Floyd's algorithm, then sort for cache-friendly downstream access.
+  std::vector<int64_t> picked;
+  picked.reserve(static_cast<size_t>(count));
+  for (int64_t j = n - count; j < n; ++j) {
+    const int64_t t = UniformInt(0, j);
+    bool seen = false;
+    for (int64_t p : picked) {
+      if (p == t) {
+        seen = true;
+        break;
+      }
+    }
+    picked.push_back(seen ? j : t);
+  }
+  for (size_t i = 1; i < picked.size(); ++i) {
+    int64_t v = picked[i];
+    size_t j = i;
+    while (j > 0 && picked[j - 1] > v) {
+      picked[j] = picked[j - 1];
+      --j;
+    }
+    picked[j] = v;
+  }
+  return picked;
+}
+
+}  // namespace sgla
+
+#endif  // SGLA_UTIL_RNG_H_

@@ -1,0 +1,121 @@
+#ifndef SGLA_UTIL_STATUS_H_
+#define SGLA_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace sgla {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kNotFound,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+inline Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+inline Status FailedPrecondition(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+inline Status NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status ResourceExhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status Internal(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+inline Status Unimplemented(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+
+/// A value-or-status holder, modeled after absl::StatusOr but dependency-free.
+template <typename T>
+class Result {
+ public:
+  Result(const T& value) : has_value_(true), value_(value) {}  // NOLINT
+  Result(T&& value) : has_value_(true), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : has_value_(false), status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) status_ = Internal("OK status without value");
+  }
+
+  bool ok() const { return has_value_; }
+  const Status& status() const { return status_; }
+
+  T& operator*() & { return value_; }
+  const T& operator*() const& { return value_; }
+  T&& operator*() && { return std::move(value_); }
+  T* operator->() { return &value_; }
+  const T* operator->() const { return &value_; }
+
+  T& value() & { return value_; }
+  const T& value() const& { return value_; }
+
+ private:
+  bool has_value_;
+  Status status_;
+  T value_{};
+};
+
+namespace internal {
+// By value: callers (SGLA_CHECK_OK) may pass a temporary Status/Result whose
+// lifetime ends before the bound reference would be read.
+inline Status AsStatus(Status status) { return status; }
+template <typename T>
+Status AsStatus(const Result<T>& result) {
+  return result.status();
+}
+}  // namespace internal
+
+}  // namespace sgla
+
+#endif  // SGLA_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef SGLA_UTIL_STOPWATCH_H_
+#define SGLA_UTIL_STOPWATCH_H_
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+
+namespace sgla {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Peak resident set size of this process, in bytes (Linux ru_maxrss is KiB).
+inline int64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;
+}
+
+}  // namespace sgla
+
+#endif  // SGLA_UTIL_STOPWATCH_H_

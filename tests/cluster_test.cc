@@ -1,0 +1,60 @@
+// Clustering substrate tests: k-means on separable blobs, spectral clustering
+// on a planted SBM, and the Yu-Shi discretization backend.
+#include <gtest/gtest.h>
+
+#include "cluster/discretize.h"
+#include "cluster/kmeans.h"
+#include "cluster/spectral_clustering.h"
+#include "data/generator.h"
+#include "eval/clustering_metrics.h"
+#include "graph/laplacian.h"
+#include "util/rng.h"
+
+namespace sgla {
+namespace {
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  Rng rng(51);
+  const std::vector<int32_t> labels = data::BalancedLabels(240, 4, &rng);
+  const la::DenseMatrix x =
+      data::GaussianAttributes(labels, 4, 8, 6.0, 0.4, &rng);
+  const cluster::KMeansResult result = cluster::KMeans(x, 4);
+  EXPECT_GT(eval::ClusteringAccuracy(result.labels, labels), 0.98);
+  EXPECT_GT(result.inertia, 0.0);
+  EXPECT_EQ(result.centers.rows(), 4);
+}
+
+TEST(KMeansTest, DeterministicForFixedSeed) {
+  Rng rng(52);
+  const std::vector<int32_t> labels = data::BalancedLabels(100, 3, &rng);
+  const la::DenseMatrix x =
+      data::GaussianAttributes(labels, 3, 5, 3.0, 0.6, &rng);
+  const cluster::KMeansResult a = cluster::KMeans(x, 3);
+  const cluster::KMeansResult b = cluster::KMeans(x, 3);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(SpectralClusteringTest, RecoversPlantedSbm) {
+  Rng rng(53);
+  const std::vector<int32_t> labels = data::BalancedLabels(400, 4, &rng);
+  const graph::Graph g = data::SbmGraph(labels, 4, 0.12, 0.004, &rng);
+  auto predicted = cluster::SpectralClustering(graph::NormalizedLaplacian(g), 4);
+  ASSERT_TRUE(predicted.ok()) << predicted.status().ToString();
+  EXPECT_GT(eval::ClusteringAccuracy(*predicted, labels), 0.95);
+}
+
+TEST(DiscretizeTest, MatchesKMeansOnCleanEmbedding) {
+  Rng rng(54);
+  const std::vector<int32_t> labels = data::BalancedLabels(300, 3, &rng);
+  const graph::Graph g = data::SbmGraph(labels, 3, 0.15, 0.005, &rng);
+  const la::CsrMatrix laplacian = graph::NormalizedLaplacian(g);
+  auto embedding = cluster::SpectralEmbeddingForClustering(laplacian, 3, {});
+  ASSERT_TRUE(embedding.ok());
+  auto discrete = cluster::DiscretizeSpectral(*embedding);
+  ASSERT_TRUE(discrete.ok()) << discrete.status().ToString();
+  EXPECT_GT(eval::ClusteringAccuracy(*discrete, labels), 0.9);
+}
+
+}  // namespace
+}  // namespace sgla

@@ -1,0 +1,117 @@
+// Property tests for eval::EvaluateClustering — permutation invariance of
+// ACC/NMI/ARI, perfect and random baselines — plus silhouette and the
+// embedding (logreg F1) protocol. Deterministic via util::Rng seeds.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+#include "eval/clustering_metrics.h"
+#include "eval/logreg.h"
+#include "eval/silhouette.h"
+#include "util/rng.h"
+
+namespace sgla {
+namespace {
+
+TEST(ClusteringMetricsTest, PerfectClusteringScoresOne) {
+  Rng rng(41);
+  const std::vector<int32_t> truth = data::BalancedLabels(200, 4, &rng);
+  const eval::ClusteringQuality q = eval::EvaluateClustering(truth, truth);
+  EXPECT_DOUBLE_EQ(q.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(q.purity, 1.0);
+  EXPECT_NEAR(q.nmi, 1.0, 1e-12);
+  EXPECT_NEAR(q.ari, 1.0, 1e-12);
+  EXPECT_NEAR(q.macro_f1, 1.0, 1e-12);
+}
+
+TEST(ClusteringMetricsTest, InvariantUnderLabelPermutation) {
+  Rng rng(42);
+  const std::vector<int32_t> truth = data::BalancedLabels(300, 5, &rng);
+  // A noisy prediction: 70% correct, the rest random.
+  std::vector<int32_t> predicted = truth;
+  for (auto& label : predicted) {
+    if (rng.Uniform() < 0.3) label = static_cast<int32_t>(rng.UniformInt(0, 4));
+  }
+  const eval::ClusteringQuality base = eval::EvaluateClustering(predicted, truth);
+
+  // Relabel the prediction through several random permutations of {0..4}.
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<int32_t> permutation = {0, 1, 2, 3, 4};
+    rng.Shuffle(&permutation);
+    std::vector<int32_t> relabeled(predicted.size());
+    for (size_t i = 0; i < predicted.size(); ++i) {
+      relabeled[i] = permutation[static_cast<size_t>(predicted[i])];
+    }
+    const eval::ClusteringQuality q = eval::EvaluateClustering(relabeled, truth);
+    EXPECT_NEAR(q.accuracy, base.accuracy, 1e-12);
+    EXPECT_NEAR(q.nmi, base.nmi, 1e-12);
+    EXPECT_NEAR(q.ari, base.ari, 1e-12);
+    EXPECT_NEAR(q.macro_f1, base.macro_f1, 1e-12);
+    EXPECT_NEAR(q.purity, base.purity, 1e-12);
+  }
+}
+
+TEST(ClusteringMetricsTest, RandomClusteringScoresNearChance) {
+  Rng rng(43);
+  const int k = 4;
+  const std::vector<int32_t> truth = data::BalancedLabels(2000, k, &rng);
+  std::vector<int32_t> random(truth.size());
+  for (auto& label : random) {
+    label = static_cast<int32_t>(rng.UniformInt(0, k - 1));
+  }
+  const eval::ClusteringQuality q = eval::EvaluateClustering(random, truth);
+  // Independent uniform labels: ARI ~ 0, NMI ~ 0, accuracy ~ 1/k (matching
+  // slack for the Hungarian advantage at this n).
+  EXPECT_NEAR(q.ari, 0.0, 0.02);
+  EXPECT_LT(q.nmi, 0.03);
+  EXPECT_NEAR(q.accuracy, 1.0 / k, 0.05);
+}
+
+TEST(ClusteringMetricsTest, AccuracyHandlesSwappedLabelsExactly) {
+  const std::vector<int32_t> truth = {0, 0, 0, 1, 1, 1};
+  const std::vector<int32_t> swapped = {1, 1, 1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(eval::ClusteringAccuracy(swapped, truth), 1.0);
+}
+
+TEST(ClusteringMetricsTest, MoreClustersThanClassesStillScored) {
+  const std::vector<int32_t> truth = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<int32_t> predicted = {0, 0, 2, 2, 1, 1, 3, 3};
+  const eval::ClusteringQuality q = eval::EvaluateClustering(predicted, truth);
+  EXPECT_DOUBLE_EQ(q.purity, 1.0);   // every cluster is pure
+  EXPECT_DOUBLE_EQ(q.accuracy, 0.5); // only 2 of 4 clusters can match
+}
+
+TEST(SilhouetteTest, SeparatedBlobsScoreHigh) {
+  Rng rng(44);
+  const std::vector<int32_t> labels = data::BalancedLabels(90, 3, &rng);
+  const la::DenseMatrix tight =
+      data::GaussianAttributes(labels, 3, 4, 10.0, 0.2, &rng);
+  EXPECT_GT(eval::SilhouetteScore(tight, labels), 0.8);
+  const la::DenseMatrix noisy =
+      data::GaussianAttributes(labels, 3, 4, 0.1, 1.0, &rng);
+  EXPECT_LT(eval::SilhouetteScore(noisy, labels), 0.2);
+}
+
+TEST(LogregTest, SeparableEmbeddingGetsHighF1) {
+  Rng rng(45);
+  const std::vector<int32_t> labels = data::BalancedLabels(300, 3, &rng);
+  const la::DenseMatrix x =
+      data::GaussianAttributes(labels, 3, 16, 4.0, 0.5, &rng);
+  auto quality = eval::EvaluateEmbedding(x, labels, 3, 0.2);
+  ASSERT_TRUE(quality.ok()) << quality.status().ToString();
+  EXPECT_GT(quality->micro_f1, 0.95);
+  EXPECT_GT(quality->macro_f1, 0.95);
+}
+
+TEST(LogregTest, RejectsBadArguments) {
+  la::DenseMatrix x(10, 4);
+  std::vector<int32_t> labels(9, 0);
+  EXPECT_FALSE(eval::EvaluateEmbedding(x, labels, 2, 0.2).ok());
+  labels.push_back(0);
+  EXPECT_FALSE(eval::EvaluateEmbedding(x, labels, 2, 0.0).ok());
+  EXPECT_FALSE(eval::EvaluateEmbedding(x, labels, 2, 1.0).ok());
+}
+
+}  // namespace
+}  // namespace sgla

@@ -1,0 +1,150 @@
+// Unit tests for the la/ numerical substrate: SpMV and WeightedSum against
+// dense references, Lanczos vs an analytic 3x3 spectrum, submatrix extraction
+// and the truncated SVD.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "la/dense.h"
+#include "la/eigen_sym.h"
+#include "la/lanczos.h"
+#include "la/sparse.h"
+#include "la/svd.h"
+#include "util/rng.h"
+
+namespace sgla {
+namespace {
+
+la::CsrMatrix RandomSparse(int64_t rows, int64_t cols, double density,
+                           Rng* rng) {
+  std::vector<la::Triplet> entries;
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      if (rng->Uniform() < density) {
+        entries.push_back({i, j, rng->Gaussian()});
+      }
+    }
+  }
+  return la::FromTriplets(rows, cols, std::move(entries));
+}
+
+TEST(SparseTest, SpmvMatchesDenseReference) {
+  Rng rng(11);
+  const la::CsrMatrix m = RandomSparse(37, 23, 0.2, &rng);
+  const la::DenseMatrix dense = la::ToDense(m);
+  la::Vector x(23);
+  for (double& v : x) v = rng.Gaussian();
+  la::Vector y(37, -1.0);
+  la::Spmv(m, x.data(), y.data());
+  for (int64_t i = 0; i < 37; ++i) {
+    double expected = 0.0;
+    for (int64_t j = 0; j < 23; ++j) {
+      expected += dense(i, j) * x[static_cast<size_t>(j)];
+    }
+    EXPECT_NEAR(y[static_cast<size_t>(i)], expected, 1e-12);
+  }
+}
+
+TEST(SparseTest, FromTripletsSumsDuplicates) {
+  la::CsrMatrix m = la::FromTriplets(2, 2, {{0, 1, 1.5}, {0, 1, 2.5}, {1, 0, 1.0}});
+  EXPECT_EQ(m.nnz(), 2);
+  const la::DenseMatrix d = la::ToDense(m);
+  EXPECT_DOUBLE_EQ(d(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 1.0);
+}
+
+TEST(SparseTest, WeightedSumMatchesDenseReference) {
+  Rng rng(12);
+  const la::CsrMatrix a = RandomSparse(25, 25, 0.15, &rng);
+  const la::CsrMatrix b = RandomSparse(25, 25, 0.15, &rng);
+  const la::CsrMatrix c = RandomSparse(25, 25, 0.15, &rng);
+  const la::CsrMatrix sum = la::WeightedSum({&a, &b, &c}, {0.25, 0.6, 0.15});
+  const la::DenseMatrix da = la::ToDense(a), db = la::ToDense(b),
+                        dc = la::ToDense(c), ds = la::ToDense(sum);
+  for (int64_t i = 0; i < 25; ++i) {
+    for (int64_t j = 0; j < 25; ++j) {
+      EXPECT_NEAR(ds(i, j), 0.25 * da(i, j) + 0.6 * db(i, j) + 0.15 * dc(i, j),
+                  1e-12);
+    }
+  }
+}
+
+TEST(SparseTest, SymmetricSubmatrixKeepsSelectedBlock) {
+  Rng rng(13);
+  const la::CsrMatrix m = RandomSparse(10, 10, 0.4, &rng);
+  const std::vector<int64_t> keep = {1, 4, 7, 8};
+  const la::CsrMatrix sub = la::SymmetricSubmatrix(m, keep);
+  const la::DenseMatrix dm = la::ToDense(m), dsub = la::ToDense(sub);
+  for (size_t i = 0; i < keep.size(); ++i) {
+    for (size_t j = 0; j < keep.size(); ++j) {
+      EXPECT_NEAR(dsub(static_cast<int64_t>(i), static_cast<int64_t>(j)),
+                  dm(keep[i], keep[j]), 1e-14);
+    }
+  }
+}
+
+TEST(LanczosTest, Analytic3x3Spectrum) {
+  // [[2,-1,0],[-1,2,-1],[0,-1,2]] has eigenvalues 2 - sqrt(2), 2, 2 + sqrt(2).
+  const la::CsrMatrix m = la::FromTriplets(
+      3, 3,
+      {{0, 0, 2.0}, {0, 1, -1.0}, {1, 0, -1.0}, {1, 1, 2.0}, {1, 2, -1.0},
+       {2, 1, -1.0}, {2, 2, 2.0}});
+  auto eigen = la::SmallestEigenpairs(m, 3, 4.0);
+  ASSERT_TRUE(eigen.ok()) << eigen.status().ToString();
+  const double sqrt2 = std::sqrt(2.0);
+  EXPECT_NEAR(eigen->values[0], 2.0 - sqrt2, 1e-9);
+  EXPECT_NEAR(eigen->values[1], 2.0, 1e-9);
+  EXPECT_NEAR(eigen->values[2], 2.0 + sqrt2, 1e-9);
+  // Residual check ||Mv - lambda v|| ~ 0 for every pair.
+  for (int j = 0; j < 3; ++j) {
+    la::Vector v(3), mv(3);
+    for (int64_t i = 0; i < 3; ++i) v[static_cast<size_t>(i)] = eigen->vectors(i, j);
+    la::Spmv(m, v.data(), mv.data());
+    for (int64_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(mv[static_cast<size_t>(i)],
+                  eigen->values[static_cast<size_t>(j)] * v[static_cast<size_t>(i)],
+                  1e-8);
+    }
+  }
+}
+
+TEST(LanczosTest, LargeSparseMatchesDenseJacobi) {
+  // Big enough to exercise the Lanczos path (dense fallback is <= 96 rows).
+  Rng rng(14);
+  std::vector<la::Triplet> entries;
+  const int64_t n = 150;
+  for (int64_t i = 0; i < n; ++i) {
+    entries.push_back({i, i, 1.0 + 0.01 * static_cast<double>(i)});
+    if (i + 1 < n) {
+      const double w = 0.3 * rng.Uniform();
+      entries.push_back({i, i + 1, w});
+      entries.push_back({i + 1, i, w});
+    }
+  }
+  const la::CsrMatrix m = la::FromTriplets(n, n, std::move(entries));
+  auto lanczos = la::SmallestEigenpairs(m, 4, 3.0);
+  ASSERT_TRUE(lanczos.ok());
+
+  la::Vector dense_values;
+  la::DenseMatrix dense_vectors;
+  la::JacobiEigenSymmetric(la::ToDense(m), &dense_values, &dense_vectors);
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_NEAR(lanczos->values[static_cast<size_t>(j)],
+                dense_values[static_cast<size_t>(j)], 1e-7);
+  }
+}
+
+TEST(SvdTest, RecoversLowRankMatrix) {
+  Rng rng(15);
+  la::DenseMatrix u(40, 3), v(3, 20);
+  for (auto& value : u.data()) value = rng.Gaussian();
+  for (auto& value : v.data()) value = rng.Gaussian();
+  const la::DenseMatrix m = la::MatMul(u, v);  // rank 3 by construction
+  auto svd = la::TruncatedSvd(m, 5);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_GT(svd->singular_values[2], 1e-6);
+  EXPECT_LT(svd->singular_values[3], 1e-6 * svd->singular_values[0]);
+}
+
+}  // namespace
+}  // namespace sgla

@@ -1,0 +1,123 @@
+// Simplex-optimizer convergence on convex quadratics (both COBYLA-style and
+// Nelder-Mead), the simplex projection, and the SGLA+ quadratic surrogate.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "opt/quadratic_model.h"
+#include "opt/simplex.h"
+#include "util/rng.h"
+
+namespace sgla {
+namespace {
+
+/// Convex quadratic with minimum at `target` (restricted to the simplex the
+/// minimum is the projection of target onto it).
+double Quadratic(const la::Vector& w, const la::Vector& target) {
+  double sum = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    const double d = w[i] - target[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+TEST(ProjectionTest, AlreadyFeasiblePointIsUnchanged) {
+  const la::Vector w = opt::ProjectToSimplex({0.2, 0.3, 0.5});
+  EXPECT_NEAR(w[0], 0.2, 1e-12);
+  EXPECT_NEAR(w[1], 0.3, 1e-12);
+  EXPECT_NEAR(w[2], 0.5, 1e-12);
+}
+
+TEST(ProjectionTest, ProjectsOntoSimplexFace) {
+  const la::Vector w = opt::ProjectToSimplex({1.4, -0.2, 0.1});
+  EXPECT_NEAR(w[0] + w[1] + w[2], 1.0, 1e-12);
+  for (double x : w) EXPECT_GE(x, 0.0);
+  EXPECT_NEAR(w[0], 1.0, 1e-9);  // dominated by the big coordinate
+}
+
+class SimplexMethodTest
+    : public ::testing::TestWithParam<opt::SimplexMethod> {};
+
+TEST_P(SimplexMethodTest, ConvergesOnConvexQuadraticInteriorMinimum) {
+  const la::Vector target = {0.6, 0.3, 0.1};  // already on the simplex
+  opt::SimplexOptions options;
+  options.method = GetParam();
+  options.epsilon = 1e-7;
+  options.max_evaluations = 400;
+  auto trace = opt::MinimizeOnSimplex(
+      3, [&](const la::Vector& w) { return Quadratic(w, target); }, options);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_LT(trace->best_value, 1e-3);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(trace->best_point[i], target[i], 0.05);
+  }
+  // History is best-so-far: monotone non-increasing.
+  for (size_t t = 1; t < trace->value_history.size(); ++t) {
+    EXPECT_LE(trace->value_history[t], trace->value_history[t - 1] + 1e-12);
+  }
+  EXPECT_EQ(trace->value_history.size(), trace->point_history.size());
+}
+
+TEST_P(SimplexMethodTest, FindsVertexMinimum) {
+  const la::Vector target = {1.0, 0.0, 0.0, 0.0};
+  opt::SimplexOptions options;
+  options.method = GetParam();
+  options.epsilon = 1e-7;
+  options.max_evaluations = 500;
+  auto trace = opt::MinimizeOnSimplex(
+      4, [&](const la::Vector& w) { return Quadratic(w, target); }, options);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_GT(trace->best_point[0], 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, SimplexMethodTest,
+                         ::testing::Values(opt::SimplexMethod::kCobyla,
+                                           opt::SimplexMethod::kNelderMead));
+
+TEST(QuadraticModelTest, InterpolatesExactQuadratic) {
+  // q(w) = 1 + 2 w0 - w1 + w0^2 + 0.5 w0 w1; fit from enough samples and
+  // check the fit reproduces values at fresh points.
+  auto q = [](const la::Vector& w) {
+    return 1.0 + 2.0 * w[0] - w[1] + w[0] * w[0] + 0.5 * w[0] * w[1];
+  };
+  Rng rng(31);
+  std::vector<la::Vector> samples;
+  la::Vector values;
+  for (int s = 0; s < 24; ++s) {
+    la::Vector w = {rng.Uniform(), rng.Uniform()};
+    values.push_back(q(w));
+    samples.push_back(std::move(w));
+  }
+  auto model = opt::QuadraticModel::Fit(samples, values, 1e-8);
+  ASSERT_TRUE(model.ok());
+  for (int trial = 0; trial < 10; ++trial) {
+    const la::Vector w = {rng.Uniform(), rng.Uniform()};
+    EXPECT_NEAR(model->Evaluate(w), q(w), 1e-4);
+  }
+}
+
+TEST(QuadraticModelTest, SimplexMinimizerOfConvexBowl) {
+  // q(w) = ||w - t||^2 expanded; minimum over the simplex at t itself.
+  const la::Vector target = {0.2, 0.5, 0.3};
+  auto q = [&](const la::Vector& w) { return Quadratic(w, target); };
+  std::vector<la::Vector> samples;
+  la::Vector values;
+  Rng rng(32);
+  for (int s = 0; s < 30; ++s) {
+    la::Vector w = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    double sum = w[0] + w[1] + w[2];
+    for (double& x : w) x /= sum;
+    values.push_back(q(w));
+    samples.push_back(std::move(w));
+  }
+  auto model = opt::QuadraticModel::Fit(samples, values, 1e-8);
+  ASSERT_TRUE(model.ok());
+  const la::Vector minimizer = model->MinimizeOnSimplex();
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(minimizer[i], target[i], 0.05);
+  }
+}
+
+}  // namespace
+}  // namespace sgla
