@@ -17,6 +17,7 @@
 #include "la/lanczos.h"
 #include "opt/simplex.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -133,6 +134,65 @@ void BM_KMeans(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KMeans)->Arg(2000)->Arg(8000);
+
+// ---------------------------------------------------------------------------
+// Threaded-vs-serial sweeps: Args are {n, threads}. The deterministic
+// execution layer promises bit-identical outputs at every thread count, so
+// these measure pure scheduling overhead / speedup. Run with e.g.
+//   bench_micro_substrates --benchmark_filter='Threads'
+// ---------------------------------------------------------------------------
+
+/// Pins the global pool for one benchmark run, restoring SGLA_THREADS /
+/// hardware default afterwards so unsuffixed benches keep their config.
+class PoolOverride {
+ public:
+  explicit PoolOverride(int threads) {
+    util::ThreadPool::SetGlobalThreads(threads);
+  }
+  ~PoolOverride() {
+    util::ThreadPool::SetGlobalThreads(util::ThreadPool::DefaultThreads());
+  }
+};
+
+void BM_SpmvThreads(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  PoolOverride pool(static_cast<int>(state.range(1)));
+  const la::CsrMatrix& m = f.views[0];
+  la::Vector x(static_cast<size_t>(m.cols), 1.0), y(static_cast<size_t>(m.rows));
+  for (auto _ : state) {
+    la::Spmv(m, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+BENCHMARK(BM_SpmvThreads)
+    ->Args({20000, 1})->Args({20000, 2})->Args({20000, 4})->Args({20000, 8});
+
+void BM_AggregateThreads(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  PoolOverride pool(static_cast<int>(state.range(1)));
+  core::LaplacianAggregator aggregator(&f.views);
+  double w = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aggregator.Aggregate({w, 1.0 - w}));
+    w = w < 0.7 ? w + 0.01 : 0.3;
+  }
+}
+BENCHMARK(BM_AggregateThreads)
+    ->Args({20000, 1})->Args({20000, 2})->Args({20000, 4})->Args({20000, 8});
+
+void BM_KMeansThreads(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  PoolOverride pool(static_cast<int>(state.range(1)));
+  cluster::KMeansOptions options;
+  options.num_init = 1;
+  for (auto _ : state) {
+    auto result = cluster::KMeans(f.attributes, 4, options);
+    benchmark::DoNotOptimize(result.inertia);
+  }
+}
+BENCHMARK(BM_KMeansThreads)
+    ->Args({20000, 1})->Args({20000, 2})->Args({20000, 4})->Args({20000, 8});
 
 void BM_SglaCobyla(benchmark::State& state) {
   const Fixture& f = Fixture::Get(2000);

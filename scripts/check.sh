@@ -4,6 +4,7 @@
 # Usage:
 #   scripts/check.sh                 # release build + tests in build/
 #   scripts/check.sh --asan          # same, instrumented, in build-asan/
+#   scripts/check.sh --tsan          # ThreadSanitizer build, in build-tsan/
 #   SGLA_CHECK_BUILD_DIR=out scripts/check.sh   # custom build dir
 set -euo pipefail
 
@@ -14,6 +15,13 @@ cmake_args=()
 if [[ "${1:-}" == "--asan" ]]; then
   build_dir="${SGLA_CHECK_BUILD_DIR:-build-asan}"
   cmake_args+=(-DSGLA_SANITIZE=address)
+  shift
+elif [[ "${1:-}" == "--tsan" ]]; then
+  # ThreadSanitizer gate for the deterministic execution layer: force the
+  # pool wide even on small CI machines so kernels actually run threaded.
+  build_dir="${SGLA_CHECK_BUILD_DIR:-build-tsan}"
+  cmake_args+=(-DSGLA_SANITIZE=thread)
+  export SGLA_THREADS="${SGLA_THREADS:-4}"
   shift
 fi
 

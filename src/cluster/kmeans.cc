@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace sgla {
 namespace cluster {
@@ -54,35 +56,77 @@ KMeansResult LloydOnce(const la::DenseMatrix& points, int k,
   result.centers = PlusPlusInit(points, k, rng);
   result.labels.assign(static_cast<size_t>(n), 0);
 
+  // The fused assignment + accumulation pass keeps one partial per *chunk*
+  // (chunking depends only on n and the grain, never on the thread count)
+  // and merges partials in chunk-index order, so labels, inertia, and center
+  // sums are bit-identical at any thread count, run after run.
+  util::ThreadPool& pool = util::ThreadPool::Global();
+  constexpr int64_t kPointGrain = 256;
+  const int64_t chunks = util::ThreadPool::NumChunks(0, n, kPointGrain);
+  std::vector<la::DenseMatrix> sum_partial(
+      static_cast<size_t>(chunks), la::DenseMatrix(k, d));
+  std::vector<std::vector<int64_t>> count_partial(
+      static_cast<size_t>(chunks),
+      std::vector<int64_t>(static_cast<size_t>(k), 0));
+  std::vector<double> inertia_partial(static_cast<size_t>(chunks), 0.0);
+  std::vector<uint8_t> changed_partial(static_cast<size_t>(chunks), 0);
+
   std::vector<int64_t> counts(static_cast<size_t>(k), 0);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    pool.ParallelForChunks(
+        0, n, kPointGrain, [&](int64_t chunk, int64_t lo, int64_t hi) {
+          la::DenseMatrix& sums = sum_partial[static_cast<size_t>(chunk)];
+          std::vector<int64_t>& tallies =
+              count_partial[static_cast<size_t>(chunk)];
+          std::fill(sums.data().begin(), sums.data().end(), 0.0);
+          std::fill(tallies.begin(), tallies.end(), 0);
+          double inertia = 0.0;
+          bool changed = false;
+          for (int64_t i = lo; i < hi; ++i) {
+            double best = std::numeric_limits<double>::max();
+            int32_t best_c = 0;
+            for (int c = 0; c < k; ++c) {
+              const double d2 =
+                  la::SquaredDistance(points.Row(i), result.centers.Row(c), d);
+              if (d2 < best) {
+                best = d2;
+                best_c = static_cast<int32_t>(c);
+              }
+            }
+            if (result.labels[static_cast<size_t>(i)] != best_c) {
+              result.labels[static_cast<size_t>(i)] = best_c;
+              changed = true;
+            }
+            inertia += best;
+            la::Axpy(1.0, points.Row(i), sums.Row(best_c), d);
+            ++tallies[static_cast<size_t>(best_c)];
+          }
+          inertia_partial[static_cast<size_t>(chunk)] = inertia;
+          changed_partial[static_cast<size_t>(chunk)] = changed ? 1 : 0;
+        });
+
     bool changed = false;
     result.inertia = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::max();
-      int32_t best_c = 0;
-      for (int c = 0; c < k; ++c) {
-        const double d2 =
-            la::SquaredDistance(points.Row(i), result.centers.Row(c), d);
-        if (d2 < best) {
-          best = d2;
-          best_c = static_cast<int32_t>(c);
-        }
-      }
-      if (result.labels[static_cast<size_t>(i)] != best_c) {
-        result.labels[static_cast<size_t>(i)] = best_c;
-        changed = true;
-      }
-      result.inertia += best;
+    for (int64_t c = 0; c < chunks; ++c) {
+      result.inertia += inertia_partial[static_cast<size_t>(c)];
+      changed = changed || changed_partial[static_cast<size_t>(c)] != 0;
     }
+    // Both exits happen before the center update, so the returned labels,
+    // inertia, and centers always describe the same configuration.
     if (!changed && iter > 0) break;
+    if (iter + 1 >= options.max_iterations) break;
 
     la::DenseMatrix next(k, d);
     std::fill(counts.begin(), counts.end(), 0);
-    for (int64_t i = 0; i < n; ++i) {
-      const int32_t c = result.labels[static_cast<size_t>(i)];
-      la::Axpy(1.0, points.Row(i), next.Row(c), d);
-      ++counts[static_cast<size_t>(c)];
+    for (int64_t c = 0; c < chunks; ++c) {
+      for (int64_t j = 0; j < k * d; ++j) {
+        next.data()[static_cast<size_t>(j)] +=
+            sum_partial[static_cast<size_t>(c)].data()[static_cast<size_t>(j)];
+      }
+      for (int cc = 0; cc < k; ++cc) {
+        counts[static_cast<size_t>(cc)] +=
+            count_partial[static_cast<size_t>(c)][static_cast<size_t>(cc)];
+      }
     }
     for (int c = 0; c < k; ++c) {
       if (counts[static_cast<size_t>(c)] == 0) {

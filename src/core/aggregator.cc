@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace sgla {
 namespace core {
@@ -63,16 +64,33 @@ const la::CsrMatrix& LaplacianAggregator::Aggregate(
     const std::vector<double>& weights) {
   SGLA_CHECK(weights.size() == views_->size())
       << "Aggregate weight count mismatch";
-  std::fill(aggregate_.values.begin(), aggregate_.values.end(), 0.0);
-  for (size_t v = 0; v < views_->size(); ++v) {
-    const double w = weights[v];
-    if (w == 0.0) continue;
-    const la::CsrMatrix& view = (*views_)[v];
-    const std::vector<int64_t>& map = scatter_[v];
-    for (size_t p = 0; p < map.size(); ++p) {
-      aggregate_.values[static_cast<size_t>(map[p])] += w * view.values[p];
-    }
-  }
+  // Row-parallel over the union pattern: every union slot belongs to exactly
+  // one row, and per slot the view contributions arrive in ascending view
+  // order — the same per-slot summation order as the serial view-major loop,
+  // so the result is bit-identical at any thread count.
+  constexpr int64_t kRowGrain = 512;
+  util::ThreadPool::Global().ParallelFor(
+      0, aggregate_.rows, kRowGrain, [&](int64_t lo, int64_t hi) {
+        std::fill(
+            aggregate_.values.begin() +
+                aggregate_.row_ptr[static_cast<size_t>(lo)],
+            aggregate_.values.begin() +
+                aggregate_.row_ptr[static_cast<size_t>(hi)],
+            0.0);
+        for (size_t v = 0; v < views_->size(); ++v) {
+          const double w = weights[v];
+          if (w == 0.0) continue;
+          const la::CsrMatrix& view = (*views_)[v];
+          const std::vector<int64_t>& map = scatter_[v];
+          const int64_t begin = view.row_ptr[static_cast<size_t>(lo)];
+          const int64_t end = view.row_ptr[static_cast<size_t>(hi)];
+          for (int64_t p = begin; p < end; ++p) {
+            aggregate_.values[static_cast<size_t>(
+                map[static_cast<size_t>(p)])] +=
+                w * view.values[static_cast<size_t>(p)];
+          }
+        }
+      });
   return aggregate_;
 }
 

@@ -8,6 +8,7 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace sgla {
 namespace graph {
@@ -103,9 +104,30 @@ Graph KnnGraph(const la::DenseMatrix& points, const KnnOptions& options) {
   NeighborHeap heap(n, options.k);
 
   if (n <= options.exact_threshold) {
-    std::vector<int64_t> all(static_cast<size_t>(n));
-    for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
-    BruteForceBlock(points, all, &heap);
+    util::ThreadPool& pool = util::ThreadPool::Global();
+    // The full scan costs twice the distance evaluations of the pair loop,
+    // so it only wins wall-clock with three or more threads.
+    if (pool.num_threads() > 2 && !util::ThreadPool::InParallelRegion()) {
+      // Row-parallel exact scan: node i only touches its own heap, and
+      // candidates arrive in ascending j — the same per-node offer order as
+      // the serial pair loop below (j < i arrives while j's outer loop runs,
+      // j > i while i's does), so the heaps are bit-identical to it.
+      const int64_t d = points.cols();
+      pool.ParallelFor(0, n, 32, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          for (int64_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            heap.Offer(i, j,
+                       la::SquaredDistance(points.Row(i), points.Row(j), d));
+          }
+        }
+      });
+    } else {
+      // Serial path keeps the half-the-distances pair loop.
+      std::vector<int64_t> all(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+      BruteForceBlock(points, all, &heap);
+    }
   } else {
     Rng rng(options.seed);
     for (int t = 0; t < options.trees; ++t) {

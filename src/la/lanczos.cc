@@ -5,12 +5,34 @@
 
 #include "la/eigen_sym.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace sgla {
 namespace la {
 namespace {
 
 constexpr int64_t kDenseFallbackThreshold = 96;
+
+/// Elements per chunk for the length-n panel updates below. Every element is
+/// written by exactly one chunk with the same arithmetic as the serial loop,
+/// so these stay bit-identical to a serial run at any thread count. Dot
+/// products are deliberately left serial: chunked reductions would reorder
+/// the summation and change the modified-Gram-Schmidt trajectory.
+constexpr int64_t kElementGrain = 8192;
+
+/// y += alpha * x, element-parallel. Single-chunk sizes skip the pool
+/// entirely — this runs O(m^2) times inside the deflate loop, where the
+/// dispatch cost would rival the arithmetic on small graphs.
+void ParallelAxpy(double alpha, const double* x, double* y, int64_t n) {
+  if (n <= kElementGrain) {
+    Axpy(alpha, x, y, n);
+    return;
+  }
+  util::ThreadPool::Global().ParallelFor(
+      0, n, kElementGrain, [alpha, x, y](int64_t lo, int64_t hi) {
+        Axpy(alpha, x + lo, y + lo, hi - lo);
+      });
+}
 
 Result<Eigenpairs> DenseSmallest(const CsrMatrix& matrix, int k) {
   const DenseMatrix dense = ToDense(matrix);
@@ -62,11 +84,11 @@ std::vector<RitzPair> LanczosPass(const CsrMatrix& matrix, double sigma, int m,
     for (int pass = 0; pass < 2; ++pass) {
       for (const Vector& w : locked) {
         const double proj = Dot(x, w.data(), n);
-        Axpy(-proj, w.data(), x, n);
+        ParallelAxpy(-proj, w.data(), x, n);
       }
       for (int i = 0; i < upto; ++i) {
         const double proj = Dot(x, basis.Row(i), n);
-        Axpy(-proj, basis.Row(i), x, n);
+        ParallelAxpy(-proj, basis.Row(i), x, n);
       }
     }
   };
@@ -87,9 +109,16 @@ std::vector<RitzPair> LanczosPass(const CsrMatrix& matrix, double sigma, int m,
     built = j + 1;
     // w = B v_j = sigma v_j - M v_j
     Spmv(matrix, basis.Row(j), w.data());
-    for (int64_t i = 0; i < n; ++i) {
-      w[static_cast<size_t>(i)] =
-          sigma * basis.Row(j)[i] - w[static_cast<size_t>(i)];
+    const double* vj = basis.Row(j);
+    const auto combine = [sigma, vj, &w](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        w[static_cast<size_t>(i)] = sigma * vj[i] - w[static_cast<size_t>(i)];
+      }
+    };
+    if (n <= kElementGrain) {
+      combine(0, n);
+    } else {
+      util::ThreadPool::Global().ParallelFor(0, n, kElementGrain, combine);
     }
     alpha[static_cast<size_t>(j)] = Dot(w.data(), basis.Row(j), n);
     deflate(w.data(), j + 1);
@@ -135,8 +164,21 @@ std::vector<RitzPair> LanczosPass(const CsrMatrix& matrix, double sigma, int m,
     RitzPair pair;
     pair.value = sigma - ritz_values[static_cast<size_t>(src)];
     pair.vector.assign(static_cast<size_t>(n), 0.0);
-    for (int t = 0; t < built; ++t) {
-      Axpy(ritz_vectors(t, src), basis.Row(t), pair.vector.data(), n);
+    // Ritz assembly is a dense GEMV panel basis^T * y: per element the basis
+    // rows are accumulated in ascending t order, matching the serial axpys.
+    double* assembled = pair.vector.data();
+    const auto assemble = [built, src, &ritz_vectors, &basis,
+                           assembled](int64_t lo, int64_t hi) {
+      for (int t = 0; t < built; ++t) {
+        const double coef = ritz_vectors(t, src);
+        const double* row = basis.Row(t);
+        for (int64_t i = lo; i < hi; ++i) assembled[i] += coef * row[i];
+      }
+    };
+    if (n <= kElementGrain) {
+      assemble(0, n);
+    } else {
+      util::ThreadPool::Global().ParallelFor(0, n, kElementGrain, assemble);
     }
     const double vnorm = Norm2(pair.vector.data(), n);
     if (vnorm < 1e-12) continue;

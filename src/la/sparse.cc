@@ -3,9 +3,58 @@
 #include <algorithm>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace sgla {
 namespace la {
+namespace {
+
+// Rows per chunk for the row-parallel kernels. Every row is produced by
+// exactly one chunk with the same inner loop as the serial code, so results
+// are bit-identical to a serial run at any thread count.
+constexpr int64_t kSpmvGrain = 512;
+constexpr int64_t kSpmvDenseGrain = 128;
+constexpr int64_t kMergeGrain = 512;
+
+/// Row-wise k-way merge of the views' sorted column lists over rows
+/// [lo, hi): calls emit(row, col, sum of weights[v] * value_v) for every
+/// union slot, rows ascending, columns ascending within a row, summing view
+/// contributions in ascending view order. The single source of the merge
+/// semantics for all WeightedSum paths (serial append, parallel count,
+/// parallel fill), which keeps them trivially identical.
+template <typename Emit>
+void MergeWeightedRows(const std::vector<const CsrMatrix*>& views,
+                       const std::vector<double>& weights, int64_t lo,
+                       int64_t hi, Emit&& emit) {
+  std::vector<int64_t> cursor(views.size());
+  for (int64_t r = lo; r < hi; ++r) {
+    for (size_t v = 0; v < views.size(); ++v) {
+      cursor[v] = views[v]->row_ptr[static_cast<size_t>(r)];
+    }
+    while (true) {
+      int64_t next_col = INT64_MAX;
+      for (size_t v = 0; v < views.size(); ++v) {
+        if (cursor[v] < views[v]->row_ptr[static_cast<size_t>(r) + 1]) {
+          next_col = std::min(
+              next_col, views[v]->col_idx[static_cast<size_t>(cursor[v])]);
+        }
+      }
+      if (next_col == INT64_MAX) break;
+      double sum = 0.0;
+      for (size_t v = 0; v < views.size(); ++v) {
+        int64_t& p = cursor[v];
+        if (p < views[v]->row_ptr[static_cast<size_t>(r) + 1] &&
+            views[v]->col_idx[static_cast<size_t>(p)] == next_col) {
+          sum += weights[v] * views[v]->values[static_cast<size_t>(p)];
+          ++p;
+        }
+      }
+      emit(r, next_col, sum);
+    }
+  }
+}
+
+}  // namespace
 
 CsrMatrix FromTriplets(int64_t rows, int64_t cols,
                        std::vector<Triplet> entries) {
@@ -39,15 +88,18 @@ CsrMatrix FromTriplets(int64_t rows, int64_t cols,
 }
 
 void Spmv(const CsrMatrix& m, const double* x, double* y) {
-  for (int64_t r = 0; r < m.rows; ++r) {
-    double sum = 0.0;
-    const int64_t end = m.row_ptr[static_cast<size_t>(r) + 1];
-    for (int64_t p = m.row_ptr[static_cast<size_t>(r)]; p < end; ++p) {
-      sum += m.values[static_cast<size_t>(p)] *
-             x[m.col_idx[static_cast<size_t>(p)]];
-    }
-    y[r] = sum;
-  }
+  util::ThreadPool::Global().ParallelFor(
+      0, m.rows, kSpmvGrain, [&m, x, y](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          double sum = 0.0;
+          const int64_t end = m.row_ptr[static_cast<size_t>(r) + 1];
+          for (int64_t p = m.row_ptr[static_cast<size_t>(r)]; p < end; ++p) {
+            sum += m.values[static_cast<size_t>(p)] *
+                   x[m.col_idx[static_cast<size_t>(p)]];
+          }
+          y[r] = sum;
+        }
+      });
 }
 
 void SpmvDense(const CsrMatrix& m, const DenseMatrix& x, DenseMatrix* y) {
@@ -56,16 +108,19 @@ void SpmvDense(const CsrMatrix& m, const DenseMatrix& x, DenseMatrix* y) {
     *y = DenseMatrix(m.rows, x.cols());
   }
   const int64_t d = x.cols();
-  for (int64_t r = 0; r < m.rows; ++r) {
-    double* out = y->Row(r);
-    std::fill(out, out + d, 0.0);
-    const int64_t end = m.row_ptr[static_cast<size_t>(r) + 1];
-    for (int64_t p = m.row_ptr[static_cast<size_t>(r)]; p < end; ++p) {
-      const double v = m.values[static_cast<size_t>(p)];
-      const double* in = x.Row(m.col_idx[static_cast<size_t>(p)]);
-      for (int64_t j = 0; j < d; ++j) out[j] += v * in[j];
-    }
-  }
+  util::ThreadPool::Global().ParallelFor(
+      0, m.rows, kSpmvDenseGrain, [&m, &x, y, d](int64_t lo, int64_t hi) {
+        for (int64_t r = lo; r < hi; ++r) {
+          double* out = y->Row(r);
+          std::fill(out, out + d, 0.0);
+          const int64_t end = m.row_ptr[static_cast<size_t>(r) + 1];
+          for (int64_t p = m.row_ptr[static_cast<size_t>(r)]; p < end; ++p) {
+            const double v = m.values[static_cast<size_t>(p)];
+            const double* in = x.Row(m.col_idx[static_cast<size_t>(p)]);
+            for (int64_t j = 0; j < d; ++j) out[j] += v * in[j];
+          }
+        }
+      });
 }
 
 CsrMatrix WeightedSum(const std::vector<const CsrMatrix*>& views,
@@ -83,36 +138,55 @@ CsrMatrix WeightedSum(const std::vector<const CsrMatrix*>& views,
   out.rows = rows;
   out.cols = cols;
   out.row_ptr.assign(static_cast<size_t>(rows) + 1, 0);
-  // Row-wise k-way merge of the sorted column lists.
-  std::vector<int64_t> cursor(views.size());
-  for (int64_t r = 0; r < rows; ++r) {
-    for (size_t v = 0; v < views.size(); ++v) {
-      cursor[v] = views[v]->row_ptr[static_cast<size_t>(r)];
+  util::ThreadPool& pool = util::ThreadPool::Global();
+
+  // Serial path: single-pass merge with append (cheaper than the counting
+  // pass below when no one can run it in parallel anyway). Produces exactly
+  // the same CSR as the two-pass parallel path.
+  if (pool.num_threads() == 1 || util::ThreadPool::InParallelRegion() ||
+      util::ThreadPool::NumChunks(0, rows, kMergeGrain) == 1) {
+    MergeWeightedRows(views, weights, 0, rows,
+                      [&out](int64_t r, int64_t col, double sum) {
+                        out.col_idx.push_back(col);
+                        out.values.push_back(sum);
+                        out.row_ptr[static_cast<size_t>(r) + 1] =
+                            static_cast<int64_t>(out.col_idx.size());
+                      });
+    // Rows with no union slots never emitted; carry the running size across.
+    for (int64_t r = 0; r < rows; ++r) {
+      out.row_ptr[static_cast<size_t>(r) + 1] =
+          std::max(out.row_ptr[static_cast<size_t>(r) + 1],
+                   out.row_ptr[static_cast<size_t>(r)]);
     }
-    while (true) {
-      int64_t next_col = INT64_MAX;
-      for (size_t v = 0; v < views.size(); ++v) {
-        if (cursor[v] < views[v]->row_ptr[static_cast<size_t>(r) + 1]) {
-          next_col = std::min(
-              next_col, views[v]->col_idx[static_cast<size_t>(cursor[v])]);
-        }
-      }
-      if (next_col == INT64_MAX) break;
-      double sum = 0.0;
-      for (size_t v = 0; v < views.size(); ++v) {
-        int64_t& p = cursor[v];
-        if (p < views[v]->row_ptr[static_cast<size_t>(r) + 1] &&
-            views[v]->col_idx[static_cast<size_t>(p)] == next_col) {
-          sum += weights[v] * views[v]->values[static_cast<size_t>(p)];
-          ++p;
-        }
-      }
-      out.col_idx.push_back(next_col);
-      out.values.push_back(sum);
-    }
-    out.row_ptr[static_cast<size_t>(r) + 1] =
-        static_cast<int64_t>(out.col_idx.size());
+    return out;
   }
+
+  // Pass 1: union nnz per row (each row belongs to exactly one chunk).
+  pool.ParallelFor(0, rows, kMergeGrain, [&](int64_t lo, int64_t hi) {
+    MergeWeightedRows(views, weights, lo, hi,
+                      [&out](int64_t r, int64_t, double) {
+                        ++out.row_ptr[static_cast<size_t>(r) + 1];
+                      });
+  });
+  for (int64_t r = 0; r < rows; ++r) {
+    out.row_ptr[static_cast<size_t>(r) + 1] +=
+        out.row_ptr[static_cast<size_t>(r)];
+  }
+  out.col_idx.resize(static_cast<size_t>(out.row_ptr[static_cast<size_t>(rows)]));
+  out.values.resize(out.col_idx.size());
+
+  // Pass 2: the same merge again, writing each row's output slice in place.
+  pool.ParallelFor(0, rows, kMergeGrain, [&](int64_t lo, int64_t hi) {
+    // Slots for rows [lo, hi) are contiguous and emitted exactly once in
+    // ascending (row, col) order, so one running index covers the chunk.
+    int64_t slot = out.row_ptr[static_cast<size_t>(lo)];
+    MergeWeightedRows(views, weights, lo, hi,
+                      [&out, &slot](int64_t, int64_t col, double sum) {
+                        out.col_idx[static_cast<size_t>(slot)] = col;
+                        out.values[static_cast<size_t>(slot)] = sum;
+                        ++slot;
+                      });
+  });
   return out;
 }
 

@@ -38,10 +38,28 @@ class Rng {
   /// Uniform double in [0, 1).
   double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. Lemire's multiply-shift bounded
+  /// draw with rejection: `Next() % span` is biased toward small residues
+  /// whenever span doesn't divide 2^64, which skewed k-means++ seeding and
+  /// Floyd sampling. Rejection probability is < span / 2^64 per draw.
   int64_t UniformInt(int64_t lo, int64_t hi) {
-    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
-    return lo + static_cast<int64_t>(Next() % span);
+    // Width computed in unsigned: hi - lo overflows int64 for the full range.
+    const uint64_t span =
+        static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+    if (span == 0) return static_cast<int64_t>(Next());  // full-width range
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(Next()) * span;
+    uint64_t low = static_cast<uint64_t>(product);
+    if (low < span) {
+      const uint64_t threshold = (0 - span) % span;
+      while (low < threshold) {
+        product = static_cast<unsigned __int128>(Next()) * span;
+        low = static_cast<uint64_t>(product);
+      }
+    }
+    // Unsigned add: spans wider than INT64_MAX would overflow a signed sum.
+    return static_cast<int64_t>(static_cast<uint64_t>(lo) +
+                                static_cast<uint64_t>(product >> 64));
   }
 
   /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
