@@ -5,9 +5,13 @@
 // optimizer choice).
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
 #include <map>
+#include <new>
 
 #include "cluster/kmeans.h"
+#include "cluster/spectral_clustering.h"
 #include "core/aggregator.h"
 #include "core/objective.h"
 #include "core/sgla.h"
@@ -16,8 +20,47 @@
 #include "graph/laplacian.h"
 #include "la/lanczos.h"
 #include "opt/simplex.h"
+#include "serve/engine.h"
+#include "serve/graph_registry.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+
+// ---------------------------------------------------------------------------
+// Allocation counter: operator new in this binary bumps a relaxed atomic, so
+// the Engine* benches can report allocations per iteration alongside time.
+// The engine layer's contract is that the steady-state objective benches
+// report exactly 0 (scripts/check.sh --bench-smoke records the trajectory).
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<int64_t> g_allocations{0};
+}  // namespace
+
+// GCC can't see that these replacements pair new<->malloc and delete<->free
+// consistently once library code is inlined against them; the runtime
+// pairing is correct by definition of global replacement.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
 
 namespace {
 
@@ -193,6 +236,90 @@ void BM_KMeansThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_KMeansThreads)
     ->Args({20000, 1})->Args({20000, 2})->Args({20000, 4})->Args({20000, 8});
+
+// ---------------------------------------------------------------------------
+// Engine-layer benches (scripts/check.sh --bench-smoke runs the 'Engine'
+// filter at a tiny size and archives the JSON as BENCH_engine.json). Each
+// reports allocs_per_iter from the global counting hook; the steady-state
+// objective benches must report 0.
+// ---------------------------------------------------------------------------
+
+void BM_EngineObjectiveSteadyState(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  core::LaplacianAggregator aggregator(&f.views);
+  core::EvalWorkspace workspace;
+  core::SpectralObjective objective(&aggregator, 4, core::ObjectiveOptions(),
+                                    &workspace);
+  const std::vector<double> w1 = {0.55, 0.45};
+  const std::vector<double> w2 = {0.30, 0.70};
+  // Warm-up sizes every workspace buffer before timing starts.
+  benchmark::DoNotOptimize(objective.Evaluate(w1).ok());
+  benchmark::DoNotOptimize(objective.Evaluate(w2).ok());
+  const int64_t allocations_before =
+      g_allocations.load(std::memory_order_relaxed);
+  bool flip = false;
+  for (auto _ : state) {
+    auto value = objective.Evaluate(flip ? w1 : w2);
+    benchmark::DoNotOptimize(value.ok());
+    flip = !flip;
+  }
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(g_allocations.load(std::memory_order_relaxed) -
+                          allocations_before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_EngineObjectiveSteadyState)->Arg(512)->Arg(2000);
+
+void BM_EngineAggregateSteadyState(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  core::LaplacianAggregator aggregator(&f.views);
+  la::CsrMatrix out;
+  double w = 0.3;
+  std::vector<double> weights = {w, 1.0 - w};
+  aggregator.BindPattern(&out);  // warm-up binding
+  const int64_t allocations_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    weights[0] = w;
+    weights[1] = 1.0 - w;
+    aggregator.AggregateValuesInto(weights, &out);
+    benchmark::DoNotOptimize(out.values.data());
+    w = w < 0.7 ? w + 0.01 : 0.3;
+  }
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(g_allocations.load(std::memory_order_relaxed) -
+                          allocations_before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_EngineAggregateSteadyState)->Arg(512)->Arg(2000);
+
+void BM_EngineSolveCluster(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  serve::GraphRegistry registry;
+  auto registered = registry.RegisterViews("bench", f.views, 4);
+  if (!registered.ok()) {
+    state.SkipWithError("RegisterViews failed");
+    return;
+  }
+  serve::EngineOptions options;
+  options.num_sessions = 1;
+  serve::Engine engine(&registry, options);
+  serve::SolveRequest request;
+  request.graph_id = "bench";
+  request.algorithm = serve::Algorithm::kSglaPlus;
+  benchmark::DoNotOptimize(engine.Solve(request).ok());  // warm the session
+  const int64_t allocations_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    auto response = engine.Solve(request);
+    benchmark::DoNotOptimize(response.ok());
+  }
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(g_allocations.load(std::memory_order_relaxed) -
+                          allocations_before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_EngineSolveCluster)->Arg(512)->Arg(2000);
 
 void BM_SglaCobyla(benchmark::State& state) {
   const Fixture& f = Fixture::Get(2000);

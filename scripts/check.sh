@@ -5,6 +5,7 @@
 #   scripts/check.sh                 # release build + tests in build/
 #   scripts/check.sh --asan          # same, instrumented, in build-asan/
 #   scripts/check.sh --tsan          # ThreadSanitizer build, in build-tsan/
+#   scripts/check.sh --bench-smoke   # tiny engine-bench run -> BENCH_engine.json
 #   SGLA_CHECK_BUILD_DIR=out scripts/check.sh   # custom build dir
 set -euo pipefail
 
@@ -12,6 +13,7 @@ cd "$(dirname "$0")/.."
 
 build_dir="${SGLA_CHECK_BUILD_DIR:-build}"
 cmake_args=()
+bench_smoke=0
 if [[ "${1:-}" == "--asan" ]]; then
   build_dir="${SGLA_CHECK_BUILD_DIR:-build-asan}"
   cmake_args+=(-DSGLA_SANITIZE=address)
@@ -23,12 +25,35 @@ elif [[ "${1:-}" == "--tsan" ]]; then
   cmake_args+=(-DSGLA_SANITIZE=thread)
   export SGLA_THREADS="${SGLA_THREADS:-4}"
   shift
+elif [[ "${1:-}" == "--bench-smoke" ]]; then
+  bench_smoke=1
+  shift
 fi
 
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 cmake -B "${build_dir}" -S . "${cmake_args[@]}"
 cmake --build "${build_dir}" -j "${jobs}"
+
+if [[ "${bench_smoke}" == "1" ]]; then
+  # Perf-trajectory smoke: run the engine-layer microbenches at a tiny time
+  # budget and archive per-kernel ns + allocation counts (the steady-state
+  # objective benches must report allocs_per_iter == 0). The JSON is
+  # machine-readable google-benchmark output; future PRs diff it.
+  if [[ -x "${build_dir}/bench_micro_substrates" ]]; then
+    "${build_dir}/bench_micro_substrates" \
+      --benchmark_filter='Engine' \
+      --benchmark_min_time=0.05 \
+      --benchmark_out=BENCH_engine.json \
+      --benchmark_out_format=json
+    echo "check.sh: wrote BENCH_engine.json"
+  else
+    echo "check.sh: bench_micro_substrates not built (google-benchmark" \
+         "missing); skipping bench smoke"
+  fi
+  exit 0
+fi
+
 ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" "$@"
 
 echo "check.sh: all green (${build_dir})"

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/rng.h"
@@ -13,20 +14,24 @@ namespace sgla {
 namespace cluster {
 namespace {
 
-/// k-means++ seeding: each next center sampled proportional to D^2.
-la::DenseMatrix PlusPlusInit(const la::DenseMatrix& points, int k, Rng* rng) {
+/// k-means++ seeding: each next center sampled proportional to D^2. Writes
+/// the k centers into `centers` (Reshaped here); `dist2_cache` is the reused
+/// D^2 working array.
+void PlusPlusInit(const la::DenseMatrix& points, int k, Rng* rng,
+                  std::vector<double>* dist2_cache,
+                  la::DenseMatrix* centers) {
   const int64_t n = points.rows();
   const int64_t d = points.cols();
-  la::DenseMatrix centers(k, d);
-  std::vector<double> dist2(static_cast<size_t>(n),
-                            std::numeric_limits<double>::max());
+  centers->Reshape(k, d);
+  std::vector<double>& dist2 = *dist2_cache;
+  dist2.assign(static_cast<size_t>(n), std::numeric_limits<double>::max());
   int64_t first = rng->UniformInt(0, n - 1);
-  std::copy(points.Row(first), points.Row(first) + d, centers.Row(0));
+  std::copy(points.Row(first), points.Row(first) + d, centers->Row(0));
   for (int c = 1; c < k; ++c) {
     double total = 0.0;
     for (int64_t i = 0; i < n; ++i) {
       const double d2 =
-          la::SquaredDistance(points.Row(i), centers.Row(c - 1), d);
+          la::SquaredDistance(points.Row(i), centers->Row(c - 1), d);
       dist2[static_cast<size_t>(i)] = std::min(dist2[static_cast<size_t>(i)], d2);
       total += dist2[static_cast<size_t>(i)];
     }
@@ -43,18 +48,18 @@ la::DenseMatrix PlusPlusInit(const la::DenseMatrix& points, int k, Rng* rng) {
     } else {
       chosen = rng->UniformInt(0, n - 1);
     }
-    std::copy(points.Row(chosen), points.Row(chosen) + d, centers.Row(c));
+    std::copy(points.Row(chosen), points.Row(chosen) + d, centers->Row(c));
   }
-  return centers;
 }
 
-KMeansResult LloydOnce(const la::DenseMatrix& points, int k,
-                       const KMeansOptions& options, Rng* rng) {
+void LloydOnce(const la::DenseMatrix& points, int k,
+               const KMeansOptions& options, Rng* rng, KMeansWorkspace* ws,
+               KMeansResult* result) {
   const int64_t n = points.rows();
   const int64_t d = points.cols();
-  KMeansResult result;
-  result.centers = PlusPlusInit(points, k, rng);
-  result.labels.assign(static_cast<size_t>(n), 0);
+  PlusPlusInit(points, k, rng, &ws->dist2, &result->centers);
+  result->labels.assign(static_cast<size_t>(n), 0);
+  result->inertia = 0.0;
 
   // The fused assignment + accumulation pass keeps one partial per *chunk*
   // (chunking depends only on n and the grain, never on the thread count)
@@ -63,21 +68,25 @@ KMeansResult LloydOnce(const la::DenseMatrix& points, int k,
   util::ThreadPool& pool = util::ThreadPool::Global();
   constexpr int64_t kPointGrain = 256;
   const int64_t chunks = util::ThreadPool::NumChunks(0, n, kPointGrain);
-  std::vector<la::DenseMatrix> sum_partial(
-      static_cast<size_t>(chunks), la::DenseMatrix(k, d));
-  std::vector<std::vector<int64_t>> count_partial(
-      static_cast<size_t>(chunks),
-      std::vector<int64_t>(static_cast<size_t>(k), 0));
-  std::vector<double> inertia_partial(static_cast<size_t>(chunks), 0.0);
-  std::vector<uint8_t> changed_partial(static_cast<size_t>(chunks), 0);
+  if (static_cast<int64_t>(ws->sum_partial.size()) < chunks) {
+    ws->sum_partial.resize(static_cast<size_t>(chunks));
+    ws->count_partial.resize(static_cast<size_t>(chunks));
+  }
+  for (int64_t c = 0; c < chunks; ++c) {
+    la::DenseMatrix& sums = ws->sum_partial[static_cast<size_t>(c)];
+    if (sums.rows() != k || sums.cols() != d) sums.Reshape(k, d);
+    ws->count_partial[static_cast<size_t>(c)].assign(static_cast<size_t>(k), 0);
+  }
+  ws->inertia_partial.assign(static_cast<size_t>(chunks), 0.0);
+  ws->changed_partial.assign(static_cast<size_t>(chunks), 0);
+  ws->counts.assign(static_cast<size_t>(k), 0);
 
-  std::vector<int64_t> counts(static_cast<size_t>(k), 0);
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     pool.ParallelForChunks(
         0, n, kPointGrain, [&](int64_t chunk, int64_t lo, int64_t hi) {
-          la::DenseMatrix& sums = sum_partial[static_cast<size_t>(chunk)];
+          la::DenseMatrix& sums = ws->sum_partial[static_cast<size_t>(chunk)];
           std::vector<int64_t>& tallies =
-              count_partial[static_cast<size_t>(chunk)];
+              ws->count_partial[static_cast<size_t>(chunk)];
           std::fill(sums.data().begin(), sums.data().end(), 0.0);
           std::fill(tallies.begin(), tallies.end(), 0);
           double inertia = 0.0;
@@ -87,77 +96,92 @@ KMeansResult LloydOnce(const la::DenseMatrix& points, int k,
             int32_t best_c = 0;
             for (int c = 0; c < k; ++c) {
               const double d2 =
-                  la::SquaredDistance(points.Row(i), result.centers.Row(c), d);
+                  la::SquaredDistance(points.Row(i), result->centers.Row(c), d);
               if (d2 < best) {
                 best = d2;
                 best_c = static_cast<int32_t>(c);
               }
             }
-            if (result.labels[static_cast<size_t>(i)] != best_c) {
-              result.labels[static_cast<size_t>(i)] = best_c;
+            if (result->labels[static_cast<size_t>(i)] != best_c) {
+              result->labels[static_cast<size_t>(i)] = best_c;
               changed = true;
             }
             inertia += best;
             la::Axpy(1.0, points.Row(i), sums.Row(best_c), d);
             ++tallies[static_cast<size_t>(best_c)];
           }
-          inertia_partial[static_cast<size_t>(chunk)] = inertia;
-          changed_partial[static_cast<size_t>(chunk)] = changed ? 1 : 0;
+          ws->inertia_partial[static_cast<size_t>(chunk)] = inertia;
+          ws->changed_partial[static_cast<size_t>(chunk)] = changed ? 1 : 0;
         });
 
     bool changed = false;
-    result.inertia = 0.0;
+    result->inertia = 0.0;
     for (int64_t c = 0; c < chunks; ++c) {
-      result.inertia += inertia_partial[static_cast<size_t>(c)];
-      changed = changed || changed_partial[static_cast<size_t>(c)] != 0;
+      result->inertia += ws->inertia_partial[static_cast<size_t>(c)];
+      changed = changed || ws->changed_partial[static_cast<size_t>(c)] != 0;
     }
     // Both exits happen before the center update, so the returned labels,
     // inertia, and centers always describe the same configuration.
     if (!changed && iter > 0) break;
     if (iter + 1 >= options.max_iterations) break;
 
-    la::DenseMatrix next(k, d);
-    std::fill(counts.begin(), counts.end(), 0);
+    la::DenseMatrix& next = ws->next;
+    next.Reshape(k, d);
+    std::fill(ws->counts.begin(), ws->counts.end(), 0);
     for (int64_t c = 0; c < chunks; ++c) {
       for (int64_t j = 0; j < k * d; ++j) {
         next.data()[static_cast<size_t>(j)] +=
-            sum_partial[static_cast<size_t>(c)].data()[static_cast<size_t>(j)];
+            ws->sum_partial[static_cast<size_t>(c)]
+                .data()[static_cast<size_t>(j)];
       }
       for (int cc = 0; cc < k; ++cc) {
-        counts[static_cast<size_t>(cc)] +=
-            count_partial[static_cast<size_t>(c)][static_cast<size_t>(cc)];
+        ws->counts[static_cast<size_t>(cc)] +=
+            ws->count_partial[static_cast<size_t>(c)][static_cast<size_t>(cc)];
       }
     }
     for (int c = 0; c < k; ++c) {
-      if (counts[static_cast<size_t>(c)] == 0) {
+      if (ws->counts[static_cast<size_t>(c)] == 0) {
         // Re-seed empty clusters at a random point.
         const int64_t pick = rng->UniformInt(0, n - 1);
         std::copy(points.Row(pick), points.Row(pick) + d, next.Row(c));
       } else {
-        la::Scale(1.0 / static_cast<double>(counts[static_cast<size_t>(c)]),
+        la::Scale(1.0 / static_cast<double>(ws->counts[static_cast<size_t>(c)]),
                   next.Row(c), d);
       }
     }
-    result.centers = std::move(next);
+    // Swap, not move: `next` keeps a buffer for the following iteration.
+    std::swap(result->centers, next);
   }
-  return result;
 }
 
 }  // namespace
 
-KMeansResult KMeans(const la::DenseMatrix& points, int k,
-                    const KMeansOptions& options) {
+void KMeansInto(const la::DenseMatrix& points, int k,
+                const KMeansOptions& options, KMeansWorkspace* workspace,
+                KMeansResult* out) {
   SGLA_CHECK(k > 0) << "KMeans needs k > 0";
   SGLA_CHECK(points.rows() >= k) << "KMeans needs at least k points";
   Rng rng(options.seed);
-  KMeansResult best;
-  best.inertia = std::numeric_limits<double>::max();
+  out->inertia = std::numeric_limits<double>::max();
+  bool have_best = false;
   const int restarts = std::max(1, options.num_init);
   for (int attempt = 0; attempt < restarts; ++attempt) {
-    KMeansResult candidate = LloydOnce(points, k, options, &rng);
-    if (candidate.inertia < best.inertia) best = std::move(candidate);
+    KMeansResult& candidate = workspace->candidate;
+    LloydOnce(points, k, options, &rng, workspace, &candidate);
+    if (!have_best || candidate.inertia < out->inertia) {
+      // Buffer exchange instead of copy/move-assign keeps both slots warm.
+      std::swap(*out, candidate);
+      have_best = true;
+    }
   }
-  return best;
+}
+
+KMeansResult KMeans(const la::DenseMatrix& points, int k,
+                    const KMeansOptions& options) {
+  KMeansWorkspace workspace;
+  KMeansResult out;
+  KMeansInto(points, k, options, &workspace, &out);
+  return out;
 }
 
 }  // namespace cluster

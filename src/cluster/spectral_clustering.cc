@@ -27,5 +27,22 @@ Result<std::vector<int32_t>> SpectralClustering(const la::CsrMatrix& laplacian,
   return KMeans(*embedding, k, kmeans).labels;
 }
 
+Status SpectralClusteringInto(const la::CsrMatrix& laplacian, int k,
+                              const KMeansOptions& kmeans,
+                              SpectralWorkspace* workspace,
+                              std::vector<int32_t>* out) {
+  if (k < 1) return InvalidArgument("spectral embedding needs k >= 1");
+  la::LanczosOptions lanczos;  // defaults match SpectralEmbeddingOptions
+  Status solved = la::SmallestEigenpairsInto(
+      laplacian, k, SpectralEmbeddingOptions().spectrum_upper_bound, lanczos,
+      &workspace->lanczos, &workspace->eigen);
+  if (!solved.ok()) return solved;
+  la::NormalizeRows(&workspace->eigen.vectors);
+  KMeansInto(workspace->eigen.vectors, k, kmeans, &workspace->kmeans,
+             &workspace->kmeans_result);
+  *out = workspace->kmeans_result.labels;  // assign-reuses out's capacity
+  return OkStatus();
+}
+
 }  // namespace cluster
 }  // namespace sgla

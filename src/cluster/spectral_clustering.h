@@ -6,6 +6,7 @@
 
 #include "cluster/kmeans.h"
 #include "la/dense.h"
+#include "la/lanczos.h"
 #include "la/sparse.h"
 #include "util/status.h"
 
@@ -19,6 +20,17 @@ struct SpectralEmbeddingOptions {
   int lanczos_subspace = 0;  ///< 0 = auto
 };
 
+/// Reusable scratch for SpectralClusteringInto: the embedding eigensolve
+/// buffers and the k-means scratch. One warm workspace makes repeated
+/// clustering calls at a fixed problem size allocation-free except for the
+/// caller-owned outputs.
+struct SpectralWorkspace {
+  la::LanczosWorkspace lanczos;
+  la::Eigenpairs eigen;       ///< holds the (row-normalized) embedding
+  KMeansWorkspace kmeans;
+  KMeansResult kmeans_result;
+};
+
 /// Row-normalized matrix of the k smallest Laplacian eigenvectors — the
 /// standard NJW spectral embedding used by both clustering backends.
 Result<la::DenseMatrix> SpectralEmbeddingForClustering(
@@ -28,6 +40,13 @@ Result<la::DenseMatrix> SpectralEmbeddingForClustering(
 /// NJW spectral clustering: spectral embedding + k-means.
 Result<std::vector<int32_t>> SpectralClustering(
     const la::CsrMatrix& laplacian, int k, const KMeansOptions& kmeans = {});
+
+/// Workspace form of SpectralClustering: bit-identical labels, with all
+/// scratch in `workspace` and the labels assign-reused in `out`.
+Status SpectralClusteringInto(const la::CsrMatrix& laplacian, int k,
+                              const KMeansOptions& kmeans,
+                              SpectralWorkspace* workspace,
+                              std::vector<int32_t>* out);
 
 }  // namespace cluster
 }  // namespace sgla

@@ -1,16 +1,25 @@
 #include "core/aggregator.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace sgla {
 namespace core {
+namespace {
+
+uint64_t NextPatternId() {
+  static std::atomic<uint64_t> counter{0};
+  return ++counter;
+}
+
+}  // namespace
 
 LaplacianAggregator::LaplacianAggregator(
     const std::vector<la::CsrMatrix>* views)
-    : views_(views) {
+    : views_(views), pattern_id_(NextPatternId()) {
   SGLA_CHECK(views != nullptr && !views->empty())
       << "LaplacianAggregator needs at least one view";
   const int64_t rows = (*views)[0].rows;
@@ -60,8 +69,8 @@ LaplacianAggregator::LaplacianAggregator(
   aggregate_.values.assign(aggregate_.col_idx.size(), 0.0);
 }
 
-const la::CsrMatrix& LaplacianAggregator::Aggregate(
-    const std::vector<double>& weights) {
+void LaplacianAggregator::FillValues(const std::vector<double>& weights,
+                                     double* values) const {
   SGLA_CHECK(weights.size() == views_->size())
       << "Aggregate weight count mismatch";
   // Row-parallel over the union pattern: every union slot belongs to exactly
@@ -70,13 +79,9 @@ const la::CsrMatrix& LaplacianAggregator::Aggregate(
   // so the result is bit-identical at any thread count.
   constexpr int64_t kRowGrain = 512;
   util::ThreadPool::Global().ParallelFor(
-      0, aggregate_.rows, kRowGrain, [&](int64_t lo, int64_t hi) {
-        std::fill(
-            aggregate_.values.begin() +
-                aggregate_.row_ptr[static_cast<size_t>(lo)],
-            aggregate_.values.begin() +
-                aggregate_.row_ptr[static_cast<size_t>(hi)],
-            0.0);
+      0, aggregate_.rows, kRowGrain, [&, values](int64_t lo, int64_t hi) {
+        std::fill(values + aggregate_.row_ptr[static_cast<size_t>(lo)],
+                  values + aggregate_.row_ptr[static_cast<size_t>(hi)], 0.0);
         for (size_t v = 0; v < views_->size(); ++v) {
           const double w = weights[v];
           if (w == 0.0) continue;
@@ -85,13 +90,33 @@ const la::CsrMatrix& LaplacianAggregator::Aggregate(
           const int64_t begin = view.row_ptr[static_cast<size_t>(lo)];
           const int64_t end = view.row_ptr[static_cast<size_t>(hi)];
           for (int64_t p = begin; p < end; ++p) {
-            aggregate_.values[static_cast<size_t>(
-                map[static_cast<size_t>(p)])] +=
+            values[map[static_cast<size_t>(p)]] +=
                 w * view.values[static_cast<size_t>(p)];
           }
         }
       });
+}
+
+const la::CsrMatrix& LaplacianAggregator::Aggregate(
+    const std::vector<double>& weights) {
+  FillValues(weights, aggregate_.values.data());
   return aggregate_;
+}
+
+void LaplacianAggregator::BindPattern(la::CsrMatrix* out) const {
+  out->rows = aggregate_.rows;
+  out->cols = aggregate_.cols;
+  out->row_ptr = aggregate_.row_ptr;  // assign-reuses out's capacity
+  out->col_idx = aggregate_.col_idx;
+  out->values.assign(aggregate_.col_idx.size(), 0.0);
+}
+
+void LaplacianAggregator::AggregateValuesInto(
+    const std::vector<double>& weights, la::CsrMatrix* out) const {
+  SGLA_CHECK(out->rows == aggregate_.rows &&
+             out->values.size() == aggregate_.values.size())
+      << "AggregateValuesInto on an unbound output buffer";
+  FillValues(weights, out->values.data());
 }
 
 }  // namespace core

@@ -1,6 +1,7 @@
 #ifndef SGLA_CORE_AGGREGATOR_H_
 #define SGLA_CORE_AGGREGATOR_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "la/sparse.h"
@@ -13,21 +14,46 @@ namespace core {
 /// view's scatter map into it are precomputed once, so Aggregate() is a pure
 /// fused-multiply pass over the union nnz. This is the hot inner loop of the
 /// SGLA weight search (see DESIGN.md, "aggregator reuse").
+///
+/// The pattern is immutable after construction, so any number of threads may
+/// call the const AggregateInto() form concurrently, each with its own
+/// output buffer — this is how the engine layer serves concurrent solves on
+/// one registered graph. The legacy Aggregate() writes into an internal
+/// buffer and therefore needs external serialization.
 class LaplacianAggregator {
  public:
   /// `views` must outlive the aggregator. All views share one shape.
   explicit LaplacianAggregator(const std::vector<la::CsrMatrix>* views);
 
   int num_views() const { return static_cast<int>(views_->size()); }
+  const std::vector<la::CsrMatrix>& views() const { return *views_; }
+
+  /// Process-unique id of this aggregator's pattern. Workspaces stamp their
+  /// output CSR with it so a buffer last filled from a *different* aggregator
+  /// is re-bound instead of trusted (engine workers hop between graphs).
+  uint64_t pattern_id() const { return pattern_id_; }
 
   /// Returns the aggregate for `weights` (size == num_views()). The reference
   /// stays valid until the next Aggregate() call on this object.
   const la::CsrMatrix& Aggregate(const std::vector<double>& weights);
 
+  /// Copies the union pattern into `out` (shape, row_ptr, col_idx) and sizes
+  /// out->values; values content is unspecified. Reuses out's buffers.
+  void BindPattern(la::CsrMatrix* out) const;
+
+  /// Fills out->values with sum_i w_i L_i over the union pattern; `out` must
+  /// have been bound with BindPattern() first (checked). Thread-safe across
+  /// distinct `out` buffers; allocation-free.
+  void AggregateValuesInto(const std::vector<double>& weights,
+                           la::CsrMatrix* out) const;
+
  private:
+  void FillValues(const std::vector<double>& weights, double* values) const;
+
   const std::vector<la::CsrMatrix>* views_;
   la::CsrMatrix aggregate_;                      ///< union pattern, reused
   std::vector<std::vector<int64_t>> scatter_;    ///< view nnz -> union nnz
+  uint64_t pattern_id_ = 0;
 };
 
 }  // namespace core

@@ -41,6 +41,16 @@ struct SglaOptions {
 Result<IntegrationResult> Sgla(const std::vector<la::CsrMatrix>& views, int k,
                                const SglaOptions& options = {});
 
+/// Session form of Sgla: the aggregator (its views and union pattern) is
+/// prebuilt shared state — e.g. owned by a serve::GraphRegistry entry — and
+/// `workspace` supplies every hot-loop buffer, so steady-state objective
+/// evaluations allocate nothing. Bit-identical to Sgla() over the same
+/// views at any thread count. Concurrent callers may share `aggregator` but
+/// must each bring their own workspace.
+Result<IntegrationResult> SglaOnAggregator(const LaplacianAggregator& aggregator,
+                                           int k, const SglaOptions& options,
+                                           EvalWorkspace* workspace);
+
 struct SglaPlusOptions {
   SglaOptions base;
   /// Extra weight-vector samples beyond the default r+1 (may be negative;
@@ -60,6 +70,13 @@ struct SglaPlusOptions {
 /// the surrogate's simplex minimizer — a constant number of eigensolves.
 Result<IntegrationResult> SglaPlus(const std::vector<la::CsrMatrix>& views,
                                    int k, const SglaPlusOptions& options = {});
+
+/// Session form of SglaPlus; see SglaOnAggregator. The node-sampling path
+/// still builds its induced subgraph (and a sampled aggregator) per call —
+/// only the objective evaluations inside reuse `workspace`.
+Result<IntegrationResult> SglaPlusOnAggregator(
+    const LaplacianAggregator& aggregator, int k,
+    const SglaPlusOptions& options, EvalWorkspace* workspace);
 
 /// The default SGLA+ sample set for r views: the uniform vector plus r
 /// vertex-leaning vectors (r+1 samples, matching the paper's r+1 default).

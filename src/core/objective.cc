@@ -3,14 +3,34 @@
 #include <algorithm>
 #include <cmath>
 
-#include "la/lanczos.h"
-
 namespace sgla {
 namespace core {
 
 SpectralObjective::SpectralObjective(const std::vector<la::CsrMatrix>* views,
                                      int k, const ObjectiveOptions& options)
-    : aggregator_(views), k_(k), options_(options) {}
+    : owned_aggregator_(new LaplacianAggregator(views)),
+      aggregator_(owned_aggregator_.get()),
+      owned_workspace_(new EvalWorkspace()),
+      workspace_(owned_workspace_.get()),
+      k_(k),
+      options_(options) {}
+
+SpectralObjective::SpectralObjective(const LaplacianAggregator* aggregator,
+                                     int k, const ObjectiveOptions& options,
+                                     EvalWorkspace* workspace)
+    : aggregator_(aggregator),
+      workspace_(workspace),
+      k_(k),
+      options_(options) {}
+
+void SpectralObjective::AggregateIntoWorkspace(
+    const std::vector<double>& weights) {
+  if (workspace_->bound_pattern != aggregator_->pattern_id()) {
+    aggregator_->BindPattern(&workspace_->aggregate);
+    workspace_->bound_pattern = aggregator_->pattern_id();
+  }
+  aggregator_->AggregateValuesInto(weights, &workspace_->aggregate);
+}
 
 Result<ObjectiveValue> SpectralObjective::Evaluate(
     const std::vector<double>& weights) {
@@ -26,15 +46,17 @@ Result<ObjectiveValue> SpectralObjective::Evaluate(
     return InvalidArgument("view weights must lie on the simplex");
   }
 
-  const la::CsrMatrix& laplacian = aggregator_.Aggregate(weights);
+  AggregateIntoWorkspace(weights);
   // Convex combinations of normalized Laplacians keep the spectrum in [0, 2].
   la::LanczosOptions lanczos;
   lanczos.max_subspace = options_.lanczos_subspace;
-  auto eigen = la::SmallestEigenpairs(laplacian, k_ + 1, 2.0, lanczos);
-  if (!eigen.ok()) return eigen.status();
+  Status solved =
+      la::SmallestEigenpairsInto(workspace_->aggregate, k_ + 1, 2.0, lanczos,
+                                 &workspace_->lanczos, &workspace_->eigen);
+  if (!solved.ok()) return solved;
   ++evaluations_;
 
-  const la::Vector& lambda = eigen->values;
+  const la::Vector& lambda = workspace_->eigen.values;
   ObjectiveValue value;
   value.lambda2 =
       lambda.size() > 1 ? std::max(0.0, lambda[1]) : 0.0;
@@ -50,6 +72,12 @@ Result<ObjectiveValue> SpectralObjective::Evaluate(
   if (options_.use_eigengap) value.h += value.eigengap;
   if (options_.use_connectivity) value.h -= value.lambda2;
   return value;
+}
+
+const la::CsrMatrix& SpectralObjective::AggregateAt(
+    const std::vector<double>& weights) {
+  AggregateIntoWorkspace(weights);
+  return workspace_->aggregate;
 }
 
 }  // namespace core

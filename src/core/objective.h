@@ -1,9 +1,12 @@
 #ifndef SGLA_CORE_OBJECTIVE_H_
 #define SGLA_CORE_OBJECTIVE_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/aggregator.h"
+#include "la/lanczos.h"
 #include "la/sparse.h"
 #include "util/status.h"
 
@@ -29,16 +32,41 @@ struct ObjectiveValue {
   double lambda2 = 0.0;   ///< algebraic connectivity of L_w
 };
 
+/// All mutable hot-loop state of one objective-evaluation session: the
+/// aggregated-Laplacian output CSR (bound to one aggregator's union pattern,
+/// tracked by `bound_pattern`), the Lanczos basis/panel scratch, and the
+/// eigenpair output buffers. After a warm-up evaluation sizes every buffer,
+/// steady-state evaluations at the same problem size perform zero heap
+/// allocations. Workspaces are cheap when idle and reusable across graphs
+/// (rebinding on first use per graph); they must not be shared by two
+/// concurrent evaluations.
+struct EvalWorkspace {
+  la::CsrMatrix aggregate;       ///< union-pattern output buffer
+  uint64_t bound_pattern = 0;    ///< pattern_id the buffer was bound to
+  la::LanczosWorkspace lanczos;
+  la::Eigenpairs eigen;
+};
+
 /// h(w) = g_k(L_w) - lambda_2(L_w) + gamma * ||w||^2, evaluated through one
-/// Lanczos solve on the aggregated Laplacian. The aggregator is owned and
-/// reused across evaluations, so repeated calls only pay values-fill + solve.
+/// Lanczos solve on the aggregated Laplacian. The aggregator pattern is
+/// computed once (or borrowed, already built, from a registry entry) and
+/// reused across evaluations, so repeated calls only pay values-fill + solve
+/// — with a warm workspace, allocation-free.
 class SpectralObjective {
  public:
-  /// `views` must outlive the objective.
+  /// Owning form: builds a private aggregator over `views` (which must
+  /// outlive the objective) and a private workspace.
   SpectralObjective(const std::vector<la::CsrMatrix>* views, int k,
                     const ObjectiveOptions& options = {});
 
-  int num_views() const { return aggregator_.num_views(); }
+  /// Shared form: `aggregator` (e.g. owned by a serve::GraphRegistry entry)
+  /// and `workspace` are borrowed and must outlive the objective. Multiple
+  /// SpectralObjectives may share one aggregator concurrently as long as
+  /// each has its own workspace.
+  SpectralObjective(const LaplacianAggregator* aggregator, int k,
+                    const ObjectiveOptions& options, EvalWorkspace* workspace);
+
+  int num_views() const { return aggregator_->num_views(); }
   int k() const { return k_; }
   const ObjectiveOptions& options() const { return options_; }
 
@@ -48,15 +76,20 @@ class SpectralObjective {
   /// union pattern Evaluate() uses — callers that already ran a weight
   /// search on this objective avoid rebuilding an aggregator for the final
   /// result. The reference stays valid until the next Evaluate/AggregateAt.
-  const la::CsrMatrix& AggregateAt(const std::vector<double>& weights) {
-    return aggregator_.Aggregate(weights);
-  }
+  const la::CsrMatrix& AggregateAt(const std::vector<double>& weights);
 
   /// Number of Evaluate() calls so far (the paper's iteration counter t).
   int64_t evaluations() const { return evaluations_; }
 
  private:
-  LaplacianAggregator aggregator_;
+  /// Rebinds the workspace buffer to this aggregator's pattern if it was
+  /// last used against a different one, then fills the values.
+  void AggregateIntoWorkspace(const std::vector<double>& weights);
+
+  std::unique_ptr<LaplacianAggregator> owned_aggregator_;
+  const LaplacianAggregator* aggregator_;
+  std::unique_ptr<EvalWorkspace> owned_workspace_;
+  EvalWorkspace* workspace_;
   int k_;
   ObjectiveOptions options_;
   int64_t evaluations_ = 0;

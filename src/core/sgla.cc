@@ -6,13 +6,13 @@
 namespace sgla {
 namespace core {
 
-Result<IntegrationResult> Sgla(const std::vector<la::CsrMatrix>& views, int k,
-                               const SglaOptions& options) {
-  if (views.empty()) return InvalidArgument("SGLA needs at least one view");
+Result<IntegrationResult> SglaOnAggregator(const LaplacianAggregator& aggregator,
+                                           int k, const SglaOptions& options,
+                                           EvalWorkspace* workspace) {
   if (k < 2) return InvalidArgument("SGLA needs k >= 2");
-  const int r = static_cast<int>(views.size());
+  const int r = aggregator.num_views();
 
-  SpectralObjective objective(&views, k, options.objective);
+  SpectralObjective objective(&aggregator, k, options.objective, workspace);
   auto h = [&objective](const la::Vector& w) {
     auto value = objective.Evaluate(w);
     // Infeasible/failed evaluations repel the optimizer instead of aborting;
@@ -35,6 +35,14 @@ Result<IntegrationResult> Sgla(const std::vector<la::CsrMatrix>& views, int k,
   result.weight_history = std::move(trace->point_history);
   result.laplacian = objective.AggregateAt(result.weights);
   return result;
+}
+
+Result<IntegrationResult> Sgla(const std::vector<la::CsrMatrix>& views, int k,
+                               const SglaOptions& options) {
+  if (views.empty()) return InvalidArgument("SGLA needs at least one view");
+  LaplacianAggregator aggregator(&views);
+  EvalWorkspace workspace;
+  return SglaOnAggregator(aggregator, k, options, &workspace);
 }
 
 }  // namespace core

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "core/integration.h"
 #include "opt/quadratic_model.h"
@@ -22,10 +23,11 @@ std::vector<la::Vector> SglaPlusSamples(int r) {
   return samples;
 }
 
-Result<IntegrationResult> SglaPlus(const std::vector<la::CsrMatrix>& views,
-                                   int k, const SglaPlusOptions& options) {
-  if (views.empty()) return InvalidArgument("SGLA+ needs at least one view");
+Result<IntegrationResult> SglaPlusOnAggregator(
+    const LaplacianAggregator& aggregator, int k,
+    const SglaPlusOptions& options, EvalWorkspace* workspace) {
   if (k < 2) return InvalidArgument("SGLA+ needs k >= 2");
+  const std::vector<la::CsrMatrix>& views = aggregator.views();
   const int r = static_cast<int>(views.size());
   const int64_t n = views[0].rows;
 
@@ -50,9 +52,12 @@ Result<IntegrationResult> SglaPlus(const std::vector<la::CsrMatrix>& views,
   }
 
   // Node sampling: evaluate the objective on an induced subgraph so each
-  // eigensolve costs O(sample_nnz) instead of O(nnz).
+  // eigensolve costs O(sample_nnz) instead of O(nnz). The sampled views and
+  // their aggregator are per-call (the subgraph changes with the options);
+  // only the evaluations inside reuse the caller's workspace.
   std::vector<la::CsrMatrix> sampled_views;
-  const std::vector<la::CsrMatrix>* objective_views = &views;
+  std::unique_ptr<LaplacianAggregator> sampled_aggregator;
+  const LaplacianAggregator* objective_aggregator = &aggregator;
   if (options.max_objective_nodes > 0 && n > options.max_objective_nodes) {
     std::vector<int64_t> keep =
         rng.SampleWithoutReplacement(n, options.max_objective_nodes);
@@ -60,10 +65,12 @@ Result<IntegrationResult> SglaPlus(const std::vector<la::CsrMatrix>& views,
     for (const la::CsrMatrix& v : views) {
       sampled_views.push_back(la::SymmetricSubmatrix(v, keep));
     }
-    objective_views = &sampled_views;
+    sampled_aggregator.reset(new LaplacianAggregator(&sampled_views));
+    objective_aggregator = sampled_aggregator.get();
   }
 
-  SpectralObjective objective(objective_views, k, options.base.objective);
+  SpectralObjective objective(objective_aggregator, k,
+                              options.base.objective, workspace);
   IntegrationResult result;
   la::Vector values;
   values.reserve(samples.size());
@@ -96,15 +103,24 @@ Result<IntegrationResult> SglaPlus(const std::vector<la::CsrMatrix>& views,
   }
 
   result.weights = std::move(minimizer);
-  if (objective_views == &views) {
-    // No node sampling: the objective's aggregator already holds the full
-    // union pattern.
+  if (objective_aggregator == &aggregator) {
+    // No node sampling: the shared aggregator already holds the full union
+    // pattern the objective evaluated on.
     result.laplacian = objective.AggregateAt(result.weights);
   } else {
-    LaplacianAggregator aggregator(&views);
-    result.laplacian = aggregator.Aggregate(result.weights);
+    // The final aggregation always uses the full views.
+    aggregator.BindPattern(&result.laplacian);
+    aggregator.AggregateValuesInto(result.weights, &result.laplacian);
   }
   return result;
+}
+
+Result<IntegrationResult> SglaPlus(const std::vector<la::CsrMatrix>& views,
+                                   int k, const SglaPlusOptions& options) {
+  if (views.empty()) return InvalidArgument("SGLA+ needs at least one view");
+  LaplacianAggregator aggregator(&views);
+  EvalWorkspace workspace;
+  return SglaPlusOnAggregator(aggregator, k, options, &workspace);
 }
 
 }  // namespace core

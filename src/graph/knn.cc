@@ -129,11 +129,38 @@ Graph KnnGraph(const la::DenseMatrix& points, const KnnOptions& options) {
       BruteForceBlock(points, all, &heap);
     }
   } else {
-    Rng rng(options.seed);
+    // RP-forest, one task per tree. Each tree draws from its own RNG stream,
+    // split off the seed with a golden-ratio stride (the Rng constructor
+    // splitmixes it, so nearby stream ids decorrelate), which makes the
+    // trees fully independent of each other and of scheduling. Per-tree
+    // candidates land in per-tree heaps and are merged into the shared heap
+    // in ascending tree order below, so the result is bit-identical at any
+    // thread count — including the serial pool — run after run.
+    std::vector<NeighborHeap> tree_heaps;
+    tree_heaps.reserve(static_cast<size_t>(options.trees));
     for (int t = 0; t < options.trees; ++t) {
-      std::vector<int64_t> all(static_cast<size_t>(n));
-      for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
-      RpTreeSplit(points, std::move(all), options.leaf_size, &rng, &heap);
+      tree_heaps.emplace_back(n, options.k);
+    }
+    util::ThreadPool::Global().ParallelFor(
+        0, options.trees, 1, [&](int64_t lo, int64_t hi) {
+          for (int64_t t = lo; t < hi; ++t) {
+            Rng tree_rng(options.seed +
+                         0x9e3779b97f4a7c15ull * static_cast<uint64_t>(t + 1));
+            std::vector<int64_t> all(static_cast<size_t>(n));
+            for (int64_t i = 0; i < n; ++i) all[static_cast<size_t>(i)] = i;
+            RpTreeSplit(points, std::move(all), options.leaf_size, &tree_rng,
+                        &tree_heaps[static_cast<size_t>(t)]);
+          }
+        });
+    // Cross-tree merge: offer order is (tree, node, per-tree heap order) —
+    // a fixed sequence, so the shared heap's dedup/eviction decisions are
+    // reproducible.
+    for (int t = 0; t < options.trees; ++t) {
+      for (int64_t i = 0; i < n; ++i) {
+        for (const Candidate& c : tree_heaps[static_cast<size_t>(t)].Of(i)) {
+          heap.Offer(i, c.second, c.first);
+        }
+      }
     }
   }
 

@@ -33,6 +33,16 @@ class DenseMatrix {
   double* Row(int64_t row) { return data_.data() + row * cols_; }
   const double* Row(int64_t row) const { return data_.data() + row * cols_; }
 
+  /// Re-shapes in place to rows x cols and zero-fills, reusing the existing
+  /// allocation whenever capacity suffices. Workspace buffers rely on this:
+  /// a steady-state Reshape to the same (or a smaller) shape never touches
+  /// the heap, while producing exactly the bits of a fresh DenseMatrix.
+  void Reshape(int64_t rows, int64_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<size_t>(rows * cols), 0.0);
+  }
+
   std::vector<double>& data() { return data_; }
   const std::vector<double>& data() const { return data_; }
 

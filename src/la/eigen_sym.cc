@@ -11,10 +11,19 @@ namespace la {
 
 void JacobiEigenSymmetric(const DenseMatrix& matrix, Vector* eigenvalues,
                           DenseMatrix* eigenvectors_out) {
+  JacobiWorkspace workspace;
+  JacobiEigenSymmetric(matrix, eigenvalues, eigenvectors_out, &workspace);
+}
+
+void JacobiEigenSymmetric(const DenseMatrix& matrix, Vector* eigenvalues,
+                          DenseMatrix* eigenvectors_out,
+                          JacobiWorkspace* workspace) {
   const int64_t n = matrix.rows();
   SGLA_CHECK(matrix.cols() == n) << "JacobiEigenSymmetric needs a square matrix";
-  DenseMatrix a = matrix;
-  DenseMatrix v(n, n);
+  DenseMatrix& a = workspace->a;
+  a = matrix;  // copy-assign reuses the buffer when capacity suffices
+  DenseMatrix& v = workspace->v;
+  v.Reshape(n, n);
   for (int64_t i = 0; i < n; ++i) v(i, i) = 1.0;
 
   const int max_sweeps = 64;
@@ -55,13 +64,14 @@ void JacobiEigenSymmetric(const DenseMatrix& matrix, Vector* eigenvalues,
     }
   }
 
-  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::vector<int64_t>& order = workspace->order;
+  order.assign(static_cast<size_t>(n), 0);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(),
             [&](int64_t x, int64_t y) { return a(x, x) < a(y, y); });
 
   eigenvalues->assign(static_cast<size_t>(n), 0.0);
-  *eigenvectors_out = DenseMatrix(n, n);
+  eigenvectors_out->Reshape(n, n);
   for (int64_t j = 0; j < n; ++j) {
     const int64_t src = order[static_cast<size_t>(j)];
     (*eigenvalues)[static_cast<size_t>(j)] = a(src, src);

@@ -1,10 +1,22 @@
 #ifndef SGLA_LA_EIGEN_SYM_H_
 #define SGLA_LA_EIGEN_SYM_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "la/dense.h"
 
 namespace sgla {
 namespace la {
+
+/// Reusable scratch for JacobiEigenSymmetric. A default-constructed instance
+/// grows on first use; afterwards repeated solves at the same (or smaller)
+/// size perform zero heap allocations.
+struct JacobiWorkspace {
+  DenseMatrix a;                ///< working copy rotated in place
+  DenseMatrix v;                ///< accumulated rotations
+  std::vector<int64_t> order;   ///< ascending-eigenvalue permutation
+};
 
 /// Full eigendecomposition of a small dense symmetric matrix via cyclic
 /// Jacobi rotations. Eigenvalues ascending; eigenvectors_out columns match.
@@ -12,6 +24,13 @@ namespace la {
 /// Gram matrices, surrogate Hessians) — O(n^3) with a small constant.
 void JacobiEigenSymmetric(const DenseMatrix& matrix, Vector* eigenvalues,
                           DenseMatrix* eigenvectors_out);
+
+/// Workspace form: identical bits, but every buffer (including the outputs,
+/// which are assign/Reshape-reused) comes from `workspace` or the caller, so
+/// steady-state calls are allocation-free.
+void JacobiEigenSymmetric(const DenseMatrix& matrix, Vector* eigenvalues,
+                          DenseMatrix* eigenvectors_out,
+                          JacobiWorkspace* workspace);
 
 }  // namespace la
 }  // namespace sgla

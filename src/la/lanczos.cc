@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "la/eigen_sym.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -34,57 +33,63 @@ void ParallelAxpy(double alpha, const double* x, double* y, int64_t n) {
       });
 }
 
-Result<Eigenpairs> DenseSmallest(const CsrMatrix& matrix, int k) {
-  const DenseMatrix dense = ToDense(matrix);
+Status DenseSmallestInto(const CsrMatrix& matrix, int k,
+                         LanczosWorkspace* ws, Eigenpairs* out) {
+  // Densify into workspace scratch (same accumulation as la::ToDense).
+  DenseMatrix& dense = ws->dense_scratch;
+  dense.Reshape(matrix.rows, matrix.cols);
+  for (int64_t r = 0; r < matrix.rows; ++r) {
+    const int64_t end = matrix.row_ptr[static_cast<size_t>(r) + 1];
+    for (int64_t p = matrix.row_ptr[static_cast<size_t>(r)]; p < end; ++p) {
+      dense(r, matrix.col_idx[static_cast<size_t>(p)]) +=
+          matrix.values[static_cast<size_t>(p)];
+    }
+  }
   // Symmetrize defensively: callers promise symmetry but cached/loaded
   // matrices may carry 1-ulp asymmetry that Jacobi would amplify.
-  DenseMatrix sym(dense.rows(), dense.cols());
+  DenseMatrix& sym = ws->dense_sym;
+  sym.Reshape(dense.rows(), dense.cols());
   for (int64_t i = 0; i < dense.rows(); ++i) {
     for (int64_t j = 0; j < dense.cols(); ++j) {
       sym(i, j) = 0.5 * (dense(i, j) + dense(j, i));
     }
   }
-  Vector all_values;
-  DenseMatrix all_vectors;
-  JacobiEigenSymmetric(sym, &all_values, &all_vectors);
-  Eigenpairs out;
-  out.values.assign(static_cast<size_t>(k), 0.0);
-  out.vectors = DenseMatrix(matrix.rows, k);
+  JacobiEigenSymmetric(sym, &ws->ritz_values, &ws->ritz_vectors, &ws->jacobi);
+  out->values.assign(static_cast<size_t>(k), 0.0);
+  out->vectors.Reshape(matrix.rows, k);
   for (int j = 0; j < k; ++j) {
-    out.values[static_cast<size_t>(j)] = all_values[static_cast<size_t>(j)];
+    out->values[static_cast<size_t>(j)] =
+        ws->ritz_values[static_cast<size_t>(j)];
     for (int64_t i = 0; i < matrix.rows; ++i) {
-      out.vectors(i, j) = all_vectors(i, j);
+      out->vectors(i, j) = ws->ritz_vectors(i, j);
     }
   }
-  return out;
+  return OkStatus();
 }
 
-/// One Ritz approximation of an eigenpair of M, values ascending in M.
-struct RitzPair {
-  double value = 0.0;
-  Vector vector;
-  double residual = 0.0;  ///< ||M v - value v||
-};
-
 /// One Lanczos sweep on B = sigma I - M with full reorthogonalization,
-/// deflated against `locked` (every Krylov vector is kept orthogonal to the
-/// already-converged eigenvectors). Returns up to `want` Ritz pairs,
-/// ascending in M, with exact residuals.
-std::vector<RitzPair> LanczosPass(const CsrMatrix& matrix, double sigma, int m,
-                                  int want,
-                                  const std::vector<Vector>& locked,
-                                  Rng* rng) {
+/// deflated against the locked bank rows [0, num_locked) (every Krylov
+/// vector is kept orthogonal to the already-converged eigenvectors). Writes
+/// up to `want` Ritz pairs — ascending in M, with exact residuals — into
+/// bank rows [pass_base, pass_base + produced) and returns `produced`.
+int LanczosPassInto(const CsrMatrix& matrix, double sigma, int m, int want,
+                    int num_locked, int pass_base, Rng* rng,
+                    LanczosWorkspace* ws) {
   const int64_t n = matrix.rows;
 
-  DenseMatrix basis(m, n);  // row-per-basis-vector for contiguous axpys
-  Vector alpha(static_cast<size_t>(m), 0.0);
-  Vector beta(static_cast<size_t>(m), 0.0);  // beta[j] couples v_j, v_{j+1}
+  DenseMatrix& basis = ws->basis;  // row-per-basis-vector, contiguous axpys
+  basis.Reshape(m, n);
+  Vector& alpha = ws->alpha;
+  Vector& beta = ws->beta;  // beta[j] couples v_j, v_{j+1}
+  alpha.assign(static_cast<size_t>(m), 0.0);
+  beta.assign(static_cast<size_t>(m), 0.0);
 
   auto deflate = [&](double* x, int upto) {
     for (int pass = 0; pass < 2; ++pass) {
-      for (const Vector& w : locked) {
-        const double proj = Dot(x, w.data(), n);
-        ParallelAxpy(-proj, w.data(), x, n);
+      for (int l = 0; l < num_locked; ++l) {
+        const double* locked = ws->bank.Row(l);
+        const double proj = Dot(x, locked, n);
+        ParallelAxpy(-proj, locked, x, n);
       }
       for (int i = 0; i < upto; ++i) {
         const double proj = Dot(x, basis.Row(i), n);
@@ -93,17 +98,19 @@ std::vector<RitzPair> LanczosPass(const CsrMatrix& matrix, double sigma, int m,
     }
   };
 
-  Vector v(static_cast<size_t>(n));
+  Vector& v = ws->v;
+  v.assign(static_cast<size_t>(n), 0.0);
   for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i)] = rng->Gaussian();
   deflate(v.data(), 0);
   {
     const double norm = Norm2(v.data(), n);
-    if (norm < 1e-12) return {};  // locked set spans everything reachable
+    if (norm < 1e-12) return 0;  // locked set spans everything reachable
     Scale(1.0 / norm, v.data(), n);
   }
   std::copy(v.begin(), v.end(), basis.Row(0));
 
-  Vector w(static_cast<size_t>(n));
+  Vector& w = ws->w;
+  w.assign(static_cast<size_t>(n), 0.0);
   int built = 0;
   for (int j = 0; j < m; ++j) {
     built = j + 1;
@@ -143,7 +150,8 @@ std::vector<RitzPair> LanczosPass(const CsrMatrix& matrix, double sigma, int m,
   }
 
   // Rayleigh-Ritz on the tridiagonal (dense Jacobi is fine at these sizes).
-  DenseMatrix tri(built, built);
+  DenseMatrix& tri = ws->tri;
+  tri.Reshape(built, built);
   for (int j = 0; j < built; ++j) {
     tri(j, j) = alpha[static_cast<size_t>(j)];
     if (j + 1 < built) {
@@ -151,22 +159,22 @@ std::vector<RitzPair> LanczosPass(const CsrMatrix& matrix, double sigma, int m,
       tri(j + 1, j) = beta[static_cast<size_t>(j)];
     }
   }
-  Vector ritz_values;
-  DenseMatrix ritz_vectors;
-  JacobiEigenSymmetric(tri, &ritz_values, &ritz_vectors);
+  JacobiEigenSymmetric(tri, &ws->ritz_values, &ws->ritz_vectors, &ws->jacobi);
 
   // Largest of B == smallest of M; they sit at the end of the ascending list.
-  std::vector<RitzPair> pairs;
+  int produced = 0;
   const int count = std::min(want, built);
-  Vector mv(static_cast<size_t>(n));
+  Vector& mv = ws->mv;
+  mv.assign(static_cast<size_t>(n), 0.0);
   for (int j = 0; j < count; ++j) {
     const int src = built - 1 - j;
-    RitzPair pair;
-    pair.value = sigma - ritz_values[static_cast<size_t>(src)];
-    pair.vector.assign(static_cast<size_t>(n), 0.0);
+    const double value =
+        sigma - ws->ritz_values[static_cast<size_t>(src)];
     // Ritz assembly is a dense GEMV panel basis^T * y: per element the basis
     // rows are accumulated in ascending t order, matching the serial axpys.
-    double* assembled = pair.vector.data();
+    double* assembled = ws->bank.Row(pass_base + produced);
+    std::fill(assembled, assembled + n, 0.0);
+    const DenseMatrix& ritz_vectors = ws->ritz_vectors;
     const auto assemble = [built, src, &ritz_vectors, &basis,
                            assembled](int64_t lo, int64_t hi) {
       for (int t = 0; t < built; ++t) {
@@ -180,15 +188,17 @@ std::vector<RitzPair> LanczosPass(const CsrMatrix& matrix, double sigma, int m,
     } else {
       util::ThreadPool::Global().ParallelFor(0, n, kElementGrain, assemble);
     }
-    const double vnorm = Norm2(pair.vector.data(), n);
-    if (vnorm < 1e-12) continue;
-    Scale(1.0 / vnorm, pair.vector.data(), n);
-    Spmv(matrix, pair.vector.data(), mv.data());
-    Axpy(-pair.value, pair.vector.data(), mv.data(), n);
-    pair.residual = Norm2(mv.data(), n);
-    pairs.push_back(std::move(pair));
+    const double vnorm = Norm2(assembled, n);
+    if (vnorm < 1e-12) continue;  // row is re-zeroed for the next candidate
+    Scale(1.0 / vnorm, assembled, n);
+    Spmv(matrix, assembled, mv.data());
+    Axpy(-value, assembled, mv.data(), n);
+    ws->bank_value[static_cast<size_t>(pass_base + produced)] = value;
+    ws->bank_residual[static_cast<size_t>(pass_base + produced)] =
+        Norm2(mv.data(), n);
+    ++produced;
   }
-  return pairs;
+  return produced;
 }
 
 }  // namespace
@@ -196,12 +206,24 @@ std::vector<RitzPair> LanczosPass(const CsrMatrix& matrix, double sigma, int m,
 Result<Eigenpairs> SmallestEigenpairs(const CsrMatrix& matrix, int k,
                                       double spectrum_upper_bound,
                                       const LanczosOptions& options) {
+  LanczosWorkspace workspace;
+  Eigenpairs out;
+  Status status = SmallestEigenpairsInto(matrix, k, spectrum_upper_bound,
+                                         options, &workspace, &out);
+  if (!status.ok()) return status;
+  return out;
+}
+
+Status SmallestEigenpairsInto(const CsrMatrix& matrix, int k,
+                              double spectrum_upper_bound,
+                              const LanczosOptions& options,
+                              LanczosWorkspace* ws, Eigenpairs* out) {
   const int64_t n = matrix.rows;
   if (matrix.cols != n) return InvalidArgument("matrix must be square");
   if (k <= 0) return InvalidArgument("k must be positive");
   if (k > n) return InvalidArgument("k exceeds matrix dimension");
   if (n <= kDenseFallbackThreshold || k >= n - 2) {
-    return DenseSmallest(matrix, k);
+    return DenseSmallestInto(matrix, k, ws, out);
   }
 
   const double sigma = spectrum_upper_bound;
@@ -211,6 +233,20 @@ Result<Eigenpairs> SmallestEigenpairs(const CsrMatrix& matrix, int k,
   m = static_cast<int>(std::min<int64_t>(m, n));
   if (m < k + 2) m = static_cast<int>(std::min<int64_t>(k + 2, n));
 
+  // Bank layout: rows [0, k) are the locked region; two pass regions of
+  // k + 1 rows alternate above it so the leftovers of pass t stay intact
+  // through an unproductive pass t + 1. Shape is only *ensured* here — rows
+  // are fully (re)written before every read — so a warm workspace never
+  // re-zeroes or reallocates the bank.
+  const int bank_rows = 3 * k + 2;
+  if (ws->bank.rows() < bank_rows || ws->bank.cols() != n) {
+    ws->bank.Reshape(bank_rows, n);
+  }
+  if (static_cast<int>(ws->bank_value.size()) < bank_rows) {
+    ws->bank_value.assign(static_cast<size_t>(bank_rows), 0.0);
+    ws->bank_residual.assign(static_cast<size_t>(bank_rows), 0.0);
+  }
+
   // Single-vector Lanczos sees at most one direction per eigenvalue, so
   // repeated eigenvalues (disconnected Laplacians!) need deflated restarts:
   // converged pairs are locked, and the next pass explores their orthogonal
@@ -218,54 +254,65 @@ Result<Eigenpairs> SmallestEigenpairs(const CsrMatrix& matrix, int k,
   const double tolerance =
       std::max(options.tolerance, 1e-12) * std::max(1.0, std::fabs(sigma));
   Rng rng(options.seed);
-  std::vector<RitzPair> locked_pairs;
-  std::vector<Vector> locked_vectors;
-  std::vector<RitzPair> leftovers;  // best unconverged pairs, final pass
+  int num_locked = 0;                          // bank rows [0, num_locked)
+  std::vector<int>& leftovers = ws->leftovers;  // best unconverged, final pass
+  leftovers.clear();
   const int max_passes = 3;
-  for (int pass = 0; pass < max_passes && static_cast<int>(locked_pairs.size()) < k;
-       ++pass) {
-    const int missing = k - static_cast<int>(locked_pairs.size());
-    std::vector<RitzPair> pairs =
-        LanczosPass(matrix, sigma, m, missing + 1, locked_vectors, &rng);
-    if (pairs.empty()) break;
+  for (int pass = 0; pass < max_passes && num_locked < k; ++pass) {
+    const int missing = k - num_locked;
+    const int pass_base = k + (pass % 2) * (k + 1);
+    const int produced = LanczosPassInto(matrix, sigma, m, missing + 1,
+                                         num_locked, pass_base, &rng, ws);
+    if (produced == 0) break;
     bool locked_any = false;
     leftovers.clear();
-    for (RitzPair& pair : pairs) {
-      if (static_cast<int>(locked_pairs.size()) < k &&
-          pair.residual <= tolerance) {
-        locked_vectors.push_back(pair.vector);
-        locked_pairs.push_back(std::move(pair));
+    for (int p = 0; p < produced; ++p) {
+      const int row = pass_base + p;
+      if (num_locked < k &&
+          ws->bank_residual[static_cast<size_t>(row)] <= tolerance) {
+        std::copy(ws->bank.Row(row), ws->bank.Row(row) + n,
+                  ws->bank.Row(num_locked));
+        ws->bank_value[static_cast<size_t>(num_locked)] =
+            ws->bank_value[static_cast<size_t>(row)];
+        ws->bank_residual[static_cast<size_t>(num_locked)] =
+            ws->bank_residual[static_cast<size_t>(row)];
+        ++num_locked;
         locked_any = true;
       } else {
-        leftovers.push_back(std::move(pair));
+        leftovers.push_back(row);
       }
     }
     if (!locked_any) break;  // no further progress at this subspace size
   }
 
   // Fill any remaining slots with the best unconverged approximations.
-  for (RitzPair& pair : leftovers) {
-    if (static_cast<int>(locked_pairs.size()) >= k) break;
-    locked_pairs.push_back(std::move(pair));
+  std::vector<int>& selected = ws->selected;
+  selected.clear();
+  for (int l = 0; l < num_locked; ++l) selected.push_back(l);
+  for (int row : leftovers) {
+    if (static_cast<int>(selected.size()) >= k) break;
+    selected.push_back(row);
   }
-  if (static_cast<int>(locked_pairs.size()) < k) {
+  if (static_cast<int>(selected.size()) < k) {
     return Internal("Lanczos resolved fewer than k eigenpairs");
   }
 
-  std::sort(locked_pairs.begin(), locked_pairs.end(),
-            [](const RitzPair& a, const RitzPair& b) {
-              return a.value < b.value;
-            });
-  Eigenpairs out;
-  out.values.assign(static_cast<size_t>(k), 0.0);
-  out.vectors = DenseMatrix(n, k);
+  std::sort(selected.begin(), selected.end(), [ws](int a, int b) {
+    return ws->bank_value[static_cast<size_t>(a)] <
+           ws->bank_value[static_cast<size_t>(b)];
+  });
+  out->values.assign(static_cast<size_t>(k), 0.0);
+  out->vectors.Reshape(n, k);
   for (int j = 0; j < k; ++j) {
-    out.values[static_cast<size_t>(j)] = locked_pairs[static_cast<size_t>(j)].value;
+    const int row = selected[static_cast<size_t>(j)];
+    out->values[static_cast<size_t>(j)] =
+        ws->bank_value[static_cast<size_t>(row)];
+    const double* src = ws->bank.Row(row);
     for (int64_t i = 0; i < n; ++i) {
-      out.vectors(i, j) = locked_pairs[static_cast<size_t>(j)].vector[static_cast<size_t>(i)];
+      out->vectors(i, j) = src[static_cast<size_t>(i)];
     }
   }
-  return out;
+  return OkStatus();
 }
 
 }  // namespace la

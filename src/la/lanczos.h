@@ -1,7 +1,10 @@
 #ifndef SGLA_LA_LANCZOS_H_
 #define SGLA_LA_LANCZOS_H_
 
+#include <vector>
+
 #include "la/dense.h"
+#include "la/eigen_sym.h"
 #include "la/sparse.h"
 #include "util/status.h"
 
@@ -19,6 +22,34 @@ struct LanczosOptions {
   uint64_t seed = 20250131;    ///< deterministic start vector
 };
 
+/// Reusable scratch for SmallestEigenpairsInto: Krylov basis and panel
+/// buffers, the Rayleigh-Ritz tridiagonal + Jacobi scratch, and a bank of
+/// candidate/locked Ritz vectors. A default-constructed workspace grows on
+/// first use; afterwards repeated solves at the same (n, k, subspace) —
+/// e.g. the per-evaluation eigensolve of the SGLA weight search — perform
+/// zero heap allocations. Contents carry no state between calls beyond
+/// capacity; any call fully re-initializes what it reads.
+struct LanczosWorkspace {
+  DenseMatrix basis;       ///< m x n, row per Krylov vector
+  Vector alpha, beta;      ///< tridiagonal entries, size m
+  Vector v, w, mv;         ///< length-n iteration / residual vectors
+  DenseMatrix tri;         ///< Rayleigh-Ritz tridiagonal (built x built)
+  Vector ritz_values;      ///< Jacobi outputs, reused
+  DenseMatrix ritz_vectors;
+  JacobiWorkspace jacobi;
+  /// Ritz-vector bank, one row per vector: rows [0, k) hold locked
+  /// (converged) vectors in locking order; rows [k, 3k+2) hold the current
+  /// and previous pass's candidates in two alternating regions of k+1 rows,
+  /// so leftovers of pass t survive an unproductive pass t+1.
+  DenseMatrix bank;
+  Vector bank_value;       ///< Ritz value per bank row
+  Vector bank_residual;    ///< exact residual per bank row
+  std::vector<int> leftovers;  ///< pass-region rows not locked (best first)
+  std::vector<int> selected;   ///< final k bank rows, ascending by value
+  DenseMatrix dense_scratch;   ///< dense fallback: densified matrix
+  DenseMatrix dense_sym;       ///< dense fallback: symmetrized copy
+};
+
 /// The k algebraically smallest eigenpairs of a symmetric matrix, via Lanczos
 /// with full reorthogonalization on the spectral complement
 /// B = spectrum_upper_bound * I - M (so the target pairs become extremal).
@@ -27,6 +58,15 @@ struct LanczosOptions {
 Result<Eigenpairs> SmallestEigenpairs(const CsrMatrix& matrix, int k,
                                       double spectrum_upper_bound,
                                       const LanczosOptions& options = {});
+
+/// Workspace form of SmallestEigenpairs: bit-identical results, but all
+/// scratch lives in `workspace` and the outputs reuse `out`'s buffers, so
+/// steady-state calls at a fixed problem size are allocation-free. The
+/// convenience overload above is a thin wrapper over this.
+Status SmallestEigenpairsInto(const CsrMatrix& matrix, int k,
+                              double spectrum_upper_bound,
+                              const LanczosOptions& options,
+                              LanczosWorkspace* workspace, Eigenpairs* out);
 
 }  // namespace la
 }  // namespace sgla

@@ -1,0 +1,93 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace sgla {
+namespace serve {
+
+Engine::Engine(GraphRegistry* registry, const EngineOptions& options)
+    : registry_(registry),
+      workspaces_(static_cast<size_t>(std::max(1, options.num_sessions))),
+      queue_(std::max(1, options.num_sessions)) {}
+
+// queue_ is declared last, so it is destroyed — draining every pending task,
+// resolving every outstanding future — before the workspaces its workers use.
+Engine::~Engine() = default;
+
+std::future<Result<SolveResponse>> Engine::Submit(SolveRequest request) {
+  auto promise = std::make_shared<std::promise<Result<SolveResponse>>>();
+  std::future<Result<SolveResponse>> future = promise->get_future();
+  // Snapshot at submit time: the shared_ptr rides along with the task, so a
+  // concurrent Evict (or re-register under the same id) cannot invalidate —
+  // or change the meaning of — work that was already accepted.
+  std::shared_ptr<const GraphEntry> entry = registry_->Find(request.graph_id);
+  if (entry == nullptr) {
+    promise->set_value(
+        NotFound("graph '" + request.graph_id + "' is not registered"));
+    return future;
+  }
+  // shared_ptr wrappers keep the task copyable for std::function.
+  auto shared_request = std::make_shared<SolveRequest>(std::move(request));
+  queue_.Submit([this, promise, shared_request, entry](int worker) {
+    Result<SolveResponse> result =
+        Run(*shared_request, *entry, &workspaces_[static_cast<size_t>(worker)]);
+    // Count before resolving: a caller that saw its future complete must
+    // never observe a completed() smaller than its own request.
+    ++completed_;
+    promise->set_value(std::move(result));
+  });
+  return future;
+}
+
+std::vector<std::future<Result<SolveResponse>>> Engine::SubmitBatch(
+    std::vector<SolveRequest> requests) {
+  std::vector<std::future<Result<SolveResponse>>> futures;
+  futures.reserve(requests.size());
+  for (SolveRequest& request : requests) {
+    futures.push_back(Submit(std::move(request)));
+  }
+  return futures;
+}
+
+Result<SolveResponse> Engine::Solve(SolveRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void Engine::Drain() { queue_.Drain(); }
+
+int64_t Engine::completed() const { return completed_.load(); }
+
+Result<SolveResponse> Engine::Run(const SolveRequest& request,
+                                  const GraphEntry& entry,
+                                  SessionWorkspace* ws) {
+  const int k = request.k > 0 ? request.k : entry.num_clusters;
+
+  Result<core::IntegrationResult> integration =
+      request.algorithm == Algorithm::kSgla
+          ? core::SglaOnAggregator(*entry.aggregator, k,
+                                   request.options.base, &ws->eval)
+          : core::SglaPlusOnAggregator(*entry.aggregator, k, request.options,
+                                       &ws->eval);
+  if (!integration.ok()) return integration.status();
+
+  SolveResponse response;
+  response.graph_id = request.graph_id;
+  response.integration = std::move(*integration);
+  if (request.mode == SolveMode::kCluster) {
+    Status clustered = cluster::SpectralClusteringInto(
+        response.integration.laplacian, k, request.kmeans, &ws->cluster,
+        &response.labels);
+    if (!clustered.ok()) return clustered;
+  } else {
+    auto embedding =
+        embed::NetMf(response.integration.laplacian, request.netmf);
+    if (!embedding.ok()) return embedding.status();
+    response.embedding = std::move(*embedding);
+  }
+  return response;
+}
+
+}  // namespace serve
+}  // namespace sgla

@@ -1,0 +1,117 @@
+#ifndef SGLA_SERVE_ENGINE_H_
+#define SGLA_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "cluster/spectral_clustering.h"
+#include "core/integration.h"
+#include "embed/netmf.h"
+#include "serve/graph_registry.h"
+#include "util/status.h"
+#include "util/task_queue.h"
+
+namespace sgla {
+namespace serve {
+
+/// What to produce from the integrated Laplacian.
+enum class SolveMode {
+  kCluster,  ///< NJW spectral clustering labels
+  kEmbed,    ///< NetMF embedding of the integrated Laplacian
+};
+
+/// Which weight search to run.
+enum class Algorithm {
+  kSgla,      ///< full derivative-free search (one eigensolve per step)
+  kSglaPlus,  ///< surrogate sampling (constant number of eigensolves)
+};
+
+struct SolveRequest {
+  std::string graph_id;
+  SolveMode mode = SolveMode::kCluster;
+  Algorithm algorithm = Algorithm::kSgla;
+  /// Cluster count k of the spectral objective (and of the kCluster
+  /// backend); 0 = the graph's registered default. The kEmbed output
+  /// dimensionality is `netmf.dim`, not k.
+  int k = 0;
+  /// `options.base` configures kSgla; the full struct configures kSglaPlus.
+  core::SglaPlusOptions options;
+  cluster::KMeansOptions kmeans;  ///< kCluster backend
+  embed::NetMfOptions netmf;      ///< kEmbed backend
+};
+
+struct SolveResponse {
+  std::string graph_id;
+  core::IntegrationResult integration;
+  std::vector<int32_t> labels;   ///< kCluster
+  la::DenseMatrix embedding;     ///< kEmbed
+};
+
+struct EngineOptions {
+  /// Concurrent solve sessions. Each session worker owns one reusable
+  /// workspace; kernel-level parallelism inside a solve still comes from the
+  /// shared deterministic ThreadPool.
+  int num_sessions = 2;
+};
+
+/// Stateful serving engine over a GraphRegistry: callers submit
+/// SolveRequests and get futures; a fixed set of session workers drains the
+/// queue. Per-request results are bit-identical to the one-shot
+/// core::Sgla/SglaPlus + cluster/embed pipeline on the same views, at any
+/// thread count and any request interleaving — solves share only immutable
+/// registry state and the (deterministic) kernel pool, and every mutable
+/// buffer lives in a per-session workspace that is fully re-initialized per
+/// solve. Steady-state objective evaluations inside a warm session allocate
+/// zero heap memory (see DESIGN.md "Engine layer").
+class Engine {
+ public:
+  explicit Engine(GraphRegistry* registry, const EngineOptions& options = {});
+  /// Drains all pending requests (every future completes) before returning.
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enqueues a solve; the future resolves when a session worker finishes
+  /// it. The graph snapshot is taken here, at submit time: a graph evicted
+  /// (or replaced under the same id) afterwards still serves this request
+  /// from the submitted snapshot — an unknown id fails the future with
+  /// NotFound immediately, without occupying a session.
+  std::future<Result<SolveResponse>> Submit(SolveRequest request);
+
+  /// Convenience: enqueue a whole batch, futures in request order.
+  std::vector<std::future<Result<SolveResponse>>> SubmitBatch(
+      std::vector<SolveRequest> requests);
+
+  /// Synchronous solve through the same queue (submit + wait).
+  Result<SolveResponse> Solve(SolveRequest request);
+
+  /// Blocks until every submitted request has completed.
+  void Drain();
+
+  int num_sessions() const { return queue_.num_workers(); }
+  int64_t completed() const;
+
+ private:
+  /// Per-session reusable state; index = session worker id.
+  struct SessionWorkspace {
+    core::EvalWorkspace eval;
+    cluster::SpectralWorkspace cluster;
+  };
+
+  Result<SolveResponse> Run(const SolveRequest& request,
+                            const GraphEntry& entry, SessionWorkspace* ws);
+
+  GraphRegistry* registry_;
+  std::vector<SessionWorkspace> workspaces_;
+  std::atomic<int64_t> completed_{0};
+  util::TaskQueue queue_;  ///< declared last: destroyed (drained) first
+};
+
+}  // namespace serve
+}  // namespace sgla
+
+#endif  // SGLA_SERVE_ENGINE_H_

@@ -1,0 +1,76 @@
+#include "serve/graph_registry.h"
+
+#include <utility>
+
+namespace sgla {
+namespace serve {
+
+Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Publish(
+    std::shared_ptr<GraphEntry> entry) {
+  entry->aggregator.reset(new core::LaplacianAggregator(&entry->views));
+  std::shared_ptr<const GraphEntry> published = std::move(entry);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto inserted = graphs_.emplace(published->id, published);
+  if (!inserted.second) {
+    return FailedPrecondition("graph '" + published->id +
+                              "' is already registered (evict it first)");
+  }
+  return published;
+}
+
+Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Register(
+    const std::string& id, const core::MultiViewGraph& mvag,
+    const graph::KnnOptions& knn) {
+  // The expensive part (KNN construction, Laplacians, union pattern) runs
+  // before the lock, so registration never stalls concurrent Find/Evict.
+  auto views = core::ComputeViewLaplacians(mvag, knn);
+  if (!views.ok()) return views.status();
+  auto entry = std::make_shared<GraphEntry>();
+  entry->id = id;
+  entry->num_nodes = mvag.num_nodes();
+  entry->num_clusters = mvag.num_clusters();
+  entry->views = std::move(*views);
+  return Publish(std::move(entry));
+}
+
+Result<std::shared_ptr<const GraphEntry>> GraphRegistry::RegisterViews(
+    const std::string& id, std::vector<la::CsrMatrix> views,
+    int num_clusters) {
+  if (views.empty()) {
+    return InvalidArgument("RegisterViews needs at least one view");
+  }
+  auto entry = std::make_shared<GraphEntry>();
+  entry->id = id;
+  entry->num_nodes = views[0].rows;
+  entry->num_clusters = num_clusters;
+  entry->views = std::move(views);
+  return Publish(std::move(entry));
+}
+
+bool GraphRegistry::Evict(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graphs_.erase(id) > 0;
+}
+
+std::shared_ptr<const GraphEntry> GraphRegistry::Find(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = graphs_.find(id);
+  return it == graphs_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> GraphRegistry::Ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(graphs_.size());
+  for (const auto& entry : graphs_) ids.push_back(entry.first);
+  return ids;
+}
+
+size_t GraphRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graphs_.size();
+}
+
+}  // namespace serve
+}  // namespace sgla

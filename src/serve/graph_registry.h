@@ -1,0 +1,78 @@
+#ifndef SGLA_SERVE_GRAPH_REGISTRY_H_
+#define SGLA_SERVE_GRAPH_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/aggregator.h"
+#include "core/mvag.h"
+#include "core/view_laplacian.h"
+#include "graph/knn.h"
+#include "la/sparse.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace serve {
+
+/// Immutable per-graph serving state, built once at registration: the view
+/// Laplacians and the aggregator holding their union sparsity pattern. Every
+/// solve on the graph reads this and only this — no solve mutates it — so
+/// any number of concurrent solves may share one entry.
+struct GraphEntry {
+  std::string id;
+  int64_t num_nodes = 0;
+  int num_clusters = 0;  ///< default k for requests that don't set one
+  std::vector<la::CsrMatrix> views;
+  /// Built after `views` is in place (it keeps a pointer into the entry);
+  /// entries are therefore handed out only behind shared_ptr and never moved.
+  std::unique_ptr<core::LaplacianAggregator> aggregator;
+};
+
+/// Registers/evicts MultiViewGraphs by id and hands out shared snapshots.
+/// Eviction only unlinks the entry from the map: solves that already hold
+/// the shared_ptr keep a fully valid graph until they finish (no
+/// use-after-evict by construction), and the entry is destroyed when the
+/// last holder drops it. All methods are thread-safe; the expensive
+/// per-graph precomputation (KNN graphs, Laplacians, union pattern) runs
+/// outside the registry lock.
+class GraphRegistry {
+ public:
+  /// Precomputes view Laplacians (attribute views through `knn`) and the
+  /// union pattern, then publishes the entry. Fails on duplicate id.
+  Result<std::shared_ptr<const GraphEntry>> Register(
+      const std::string& id, const core::MultiViewGraph& mvag,
+      const graph::KnnOptions& knn = {});
+
+  /// Registers already-computed view Laplacians (callers that precompute or
+  /// share views across registries). Fails on duplicate id or empty views.
+  Result<std::shared_ptr<const GraphEntry>> RegisterViews(
+      const std::string& id, std::vector<la::CsrMatrix> views,
+      int num_clusters);
+
+  /// Unlinks the entry; returns false if the id was not registered. The id
+  /// becomes immediately re-registrable.
+  bool Evict(const std::string& id);
+
+  /// The entry for `id`, or nullptr. Holding the returned pointer keeps the
+  /// graph alive across a concurrent Evict.
+  std::shared_ptr<const GraphEntry> Find(const std::string& id) const;
+
+  std::vector<std::string> Ids() const;
+  size_t size() const;
+
+ private:
+  Result<std::shared_ptr<const GraphEntry>> Publish(
+      std::shared_ptr<GraphEntry> entry);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const GraphEntry>> graphs_;
+};
+
+}  // namespace serve
+}  // namespace sgla
+
+#endif  // SGLA_SERVE_GRAPH_REGISTRY_H_

@@ -1,0 +1,66 @@
+#include "util/task_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace sgla {
+namespace util {
+
+TaskQueue::TaskQueue(int num_workers) {
+  const int n = std::max(1, num_workers);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskQueue::~TaskQueue() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void TaskQueue::Submit(Task task) {
+  SGLA_CHECK(task != nullptr) << "TaskQueue::Submit of an empty task";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SGLA_CHECK(!shutdown_) << "TaskQueue::Submit after shutdown";
+    queue_.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+void TaskQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void TaskQueue::WorkerLoop(int worker) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // Drain-before-join: pending tasks still run after shutdown is set, so
+      // futures handed out by callers (serve::Engine) are never abandoned.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace util
+}  // namespace sgla

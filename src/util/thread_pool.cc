@@ -1,7 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
+#include <iostream>
 
 namespace sgla {
 namespace util {
@@ -40,7 +42,7 @@ int64_t ThreadPool::NumChunks(int64_t begin, int64_t end, int64_t grain) {
 void ThreadPool::RunChunk(int64_t chunk) {
   const int64_t lo = job_begin_ + chunk * job_grain_;
   const int64_t hi = std::min(job_end_, lo + job_grain_);
-  (*job_fn_)(chunk, lo, hi);
+  job_fn_(job_ctx_, chunk, lo, hi);
 }
 
 // Claims and runs chunks of the current job until none remain or the epoch
@@ -62,9 +64,8 @@ void ThreadPool::DrainJob(uint64_t my_epoch) {
   tls_in_parallel = was_inside;
 }
 
-void ThreadPool::ParallelForChunks(
-    int64_t begin, int64_t end, int64_t grain,
-    const std::function<void(int64_t, int64_t, int64_t)>& fn) {
+void ThreadPool::RunChunked(int64_t begin, int64_t end, int64_t grain,
+                            RawChunkFn fn, void* ctx) {
   const int64_t g = std::max<int64_t>(1, grain);
   const int64_t chunks = NumChunks(begin, end, g);
   if (chunks == 0) return;
@@ -76,7 +77,7 @@ void ThreadPool::ParallelForChunks(
     // pool state, so kernels nested under it (e.g. KnnGraph beneath a
     // single-view ComputeViewLaplacians) stay free to parallelize.
     for (int64_t c = 0; c < chunks; ++c) {
-      fn(c, begin + c * g, std::min(end, begin + (c + 1) * g));
+      fn(ctx, c, begin + c * g, std::min(end, begin + (c + 1) * g));
     }
     return;
   }
@@ -85,7 +86,8 @@ void ThreadPool::ParallelForChunks(
   uint64_t my_epoch = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job_fn_ = &fn;
+    job_fn_ = fn;
+    job_ctx_ = ctx;
     job_begin_ = begin;
     job_end_ = end;
     job_grain_ = g;
@@ -101,12 +103,7 @@ void ThreadPool::ParallelForChunks(
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [this] { return job_completed_ == job_chunks_; });
   job_fn_ = nullptr;
-}
-
-void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                             const std::function<void(int64_t, int64_t)>& fn) {
-  ParallelForChunks(begin, end, grain,
-                    [&fn](int64_t, int64_t lo, int64_t hi) { fn(lo, hi); });
+  job_ctx_ = nullptr;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -125,15 +122,27 @@ void ThreadPool::WorkerLoop() {
 bool ThreadPool::InParallelRegion() { return tls_in_parallel; }
 
 int ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int fallback = hw == 0 ? 1 : static_cast<int>(hw);
   if (const char* env = std::getenv("SGLA_THREADS")) {
     char* parse_end = nullptr;
+    errno = 0;
     const long v = std::strtol(env, &parse_end, 10);
-    if (parse_end != env && v >= 1) {
+    // A valid override consumes the whole string and is a positive count.
+    // Anything else (non-numeric, trailing junk, zero, negative, overflow)
+    // is a configuration mistake: warn loudly and fall back instead of
+    // silently running with a nonsense pool size.
+    const bool parsed =
+        parse_end != env && *parse_end == '\0' && errno == 0;
+    if (parsed && v >= 1) {
       return static_cast<int>(std::min<long>(v, 1024));
     }
+    std::cerr << "[SGLA WARNING] SGLA_THREADS='" << env
+              << "' is not a positive integer; falling back to "
+                 "hardware_concurrency() = "
+              << fallback << std::endl;
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  return fallback;
 }
 
 ThreadPool& ThreadPool::Global() {

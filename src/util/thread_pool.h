@@ -3,9 +3,10 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace sgla {
@@ -24,8 +25,17 @@ namespace util {
 /// The calling thread participates in every job. Nested ParallelFor calls
 /// (a kernel invoked from inside a worker) run inline on the caller, in
 /// chunk order — same partition, same bits, no deadlock.
+///
+/// Dispatch is allocation-free: callables are published to the workers as a
+/// raw trampoline + context pointer (the caller's stack frame outlives the
+/// job, which is fully drained before ParallelFor returns), never wrapped in
+/// std::function. This is what lets the engine layer promise zero-allocation
+/// steady-state objective evaluations even with the pool running wide.
 class ThreadPool {
  public:
+  /// Trampoline signature jobs are published with: (ctx, chunk, lo, hi).
+  using RawChunkFn = void (*)(void*, int64_t, int64_t, int64_t);
+
   /// `num_threads` <= 1 means fully serial (no workers are spawned).
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
@@ -40,20 +50,37 @@ class ThreadPool {
   /// Runs fn(chunk, chunk_begin, chunk_end) for every chunk of [begin, end);
   /// blocks until all chunks finish. Chunk c covers
   /// [begin + c*grain, min(end, begin + (c+1)*grain)).
-  void ParallelForChunks(
-      int64_t begin, int64_t end, int64_t grain,
-      const std::function<void(int64_t, int64_t, int64_t)>& fn);
+  template <typename Fn>
+  void ParallelForChunks(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+    using F = typename std::remove_reference<Fn>::type;
+    RunChunked(begin, end, grain,
+               [](void* ctx, int64_t chunk, int64_t lo, int64_t hi) {
+                 (*static_cast<F*>(ctx))(chunk, lo, hi);
+               },
+               const_cast<void*>(static_cast<const volatile void*>(
+                   std::addressof(fn))));
+  }
 
   /// Chunked loop without the chunk index (for kernels that don't reduce).
-  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                   const std::function<void(int64_t, int64_t)>& fn);
+  template <typename Fn>
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+    using F = typename std::remove_reference<Fn>::type;
+    RunChunked(begin, end, grain,
+               [](void* ctx, int64_t, int64_t lo, int64_t hi) {
+                 (*static_cast<F*>(ctx))(lo, hi);
+               },
+               const_cast<void*>(static_cast<const volatile void*>(
+                   std::addressof(fn))));
+  }
 
   /// True while the current thread is executing inside a ParallelFor chunk;
   /// a ParallelFor issued now would run inline (serially).
   static bool InParallelRegion();
 
   /// Process-wide pool. Sized by the SGLA_THREADS environment variable when
-  /// set (>= 1), else by std::thread::hardware_concurrency().
+  /// set to a valid positive integer, else by
+  /// std::thread::hardware_concurrency(); malformed values (non-numeric,
+  /// zero, negative, trailing junk) log a warning and fall back.
   static ThreadPool& Global();
 
   /// Thread count Global() would use on first construction.
@@ -64,6 +91,10 @@ class ThreadPool {
   static void SetGlobalThreads(int num_threads);
 
  private:
+  /// Monomorphic core of ParallelFor(Chunks): publishes (fn, ctx) to the
+  /// workers, drains alongside them, and blocks until every chunk finished.
+  void RunChunked(int64_t begin, int64_t end, int64_t grain, RawChunkFn fn,
+                  void* ctx);
   void WorkerLoop();
   void RunChunk(int64_t chunk);
   void DrainJob(uint64_t my_epoch);
@@ -79,7 +110,8 @@ class ThreadPool {
   bool shutdown_ = false;
   uint64_t epoch_ = 0;  ///< bumped when a job is published
 
-  const std::function<void(int64_t, int64_t, int64_t)>* job_fn_ = nullptr;
+  RawChunkFn job_fn_ = nullptr;
+  void* job_ctx_ = nullptr;
   int64_t job_begin_ = 0;
   int64_t job_grain_ = 1;
   int64_t job_end_ = 0;

@@ -4,6 +4,8 @@
 // k-means exit-path consistency fix, and the unbiased bounded RNG draw.
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -100,6 +102,87 @@ TEST(ThreadPoolTest, NestedParallelForRunsInline) {
   });
   EXPECT_FALSE(util::ThreadPool::InParallelRegion());
   for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+/// Temporarily sets (or clears) SGLA_THREADS, restoring the previous value
+/// on destruction.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("SGLA_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      unsetenv("SGLA_THREADS");
+    } else {
+      setenv("SGLA_THREADS", value, 1);
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_) {
+      setenv("SGLA_THREADS", old_.c_str(), 1);
+    } else {
+      unsetenv("SGLA_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+/// Satellite hardening: valid SGLA_THREADS overrides are honored (and
+/// capped); malformed values fall back to hardware_concurrency() instead of
+/// silently misbehaving.
+TEST(ThreadPoolTest, DefaultThreadsEnvParsing) {
+  int fallback = 0;
+  {
+    ScopedThreadsEnv unset(nullptr);
+    fallback = util::ThreadPool::DefaultThreads();
+    EXPECT_GE(fallback, 1);
+  }
+  {
+    ScopedThreadsEnv env("3");
+    EXPECT_EQ(util::ThreadPool::DefaultThreads(), 3);
+  }
+  {
+    ScopedThreadsEnv env("99999");  // absurd but numeric: capped, not refused
+    EXPECT_EQ(util::ThreadPool::DefaultThreads(), 1024);
+  }
+  for (const char* bad : {"0", "-2", "abc", "4abc", "", "1.5"}) {
+    ScopedThreadsEnv env(bad);
+    EXPECT_EQ(util::ThreadPool::DefaultThreads(), fallback)
+        << "SGLA_THREADS='" << bad << "' must fall back";
+  }
+}
+
+/// Satellite: the RP-forest KNN path runs one task per tree with split-off
+/// per-tree RNG streams — edge lists must be bit-identical at any thread
+/// count (exact path is covered by KernelsBitIdenticalAcrossThreadCounts).
+TEST(DeterminismTest, RpForestKnnBitIdenticalAcrossThreadCounts) {
+  Rng rng(17);
+  const std::vector<int32_t> labels = data::BalancedLabels(500, 3, &rng);
+  const la::DenseMatrix points =
+      data::GaussianAttributes(labels, 3, 12, 3.0, 1.0, &rng);
+
+  graph::KnnOptions knn;
+  knn.k = 6;
+  knn.exact_threshold = 1;  // force the approximate RP-forest path
+  knn.trees = 6;
+  knn.leaf_size = 32;
+
+  ThreadCountGuard guard;
+  std::vector<std::vector<std::pair<int64_t, int64_t>>> runs;
+  for (int threads : {1, 2, 8}) {
+    util::ThreadPool::SetGlobalThreads(threads);
+    const graph::Graph g = graph::KnnGraph(points, knn);
+    std::vector<std::pair<int64_t, int64_t>> edges;
+    for (const graph::Edge& e : g.edges()) edges.push_back({e.u, e.v});
+    runs.push_back(std::move(edges));
+  }
+  EXPECT_FALSE(runs[0].empty());
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
 }
 
 TEST(AggregatorTest, MatchesWeightedSumOnRandomPatterns) {
