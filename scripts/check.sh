@@ -1,33 +1,60 @@
 #!/usr/bin/env bash
 # One-command tier-1 gate: configure, build everything (-j), run ctest.
-#
-# Usage:
-#   scripts/check.sh                 # release build + tests in build/
-#   scripts/check.sh --asan          # same, instrumented, in build-asan/
-#   scripts/check.sh --tsan          # ThreadSanitizer build, in build-tsan/
-#   scripts/check.sh --bench-smoke   # tiny engine-bench run -> BENCH_engine.json
-#   SGLA_CHECK_BUILD_DIR=out scripts/check.sh   # custom build dir
 set -euo pipefail
+
+usage() {
+  cat <<'EOF'
+Usage: scripts/check.sh [flags] [ctest args...]
+
+Flags (combinable, e.g. `--asan --bench-smoke`):
+  --asan         AddressSanitizer build in build-asan/
+  --tsan         ThreadSanitizer build in build-tsan/ (pool forced to
+                 SGLA_THREADS=4 so kernels actually run threaded)
+  --bench-smoke  skip ctest; run the Engine microbenches at a tiny time
+                 budget and write BENCH_engine.json (per-kernel ns +
+                 allocs_per_iter; the steady-state benches must report 0)
+  --help, -h     this message
+
+Anything else is passed through to ctest (e.g. -R sharding_test).
+Environment:
+  SGLA_CHECK_BUILD_DIR  override the build directory
+EOF
+}
 
 cd "$(dirname "$0")/.."
 
+sanitizer=""
+bench_smoke=0
+ctest_args=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --asan|--tsan)
+      flag_sanitizer=address
+      [[ "$1" == "--tsan" ]] && flag_sanitizer=thread
+      if [[ -n "${sanitizer}" && "${sanitizer}" != "${flag_sanitizer}" ]]; then
+        echo "check.sh: --asan and --tsan are mutually exclusive" >&2
+        exit 2
+      fi
+      sanitizer="${flag_sanitizer}"
+      ;;
+    --bench-smoke) bench_smoke=1 ;;
+    --help|-h) usage; exit 0 ;;
+    *) ctest_args+=("$1") ;;
+  esac
+  shift
+done
+
 build_dir="${SGLA_CHECK_BUILD_DIR:-build}"
 cmake_args=()
-bench_smoke=0
-if [[ "${1:-}" == "--asan" ]]; then
+if [[ "${sanitizer}" == "address" ]]; then
   build_dir="${SGLA_CHECK_BUILD_DIR:-build-asan}"
   cmake_args+=(-DSGLA_SANITIZE=address)
-  shift
-elif [[ "${1:-}" == "--tsan" ]]; then
+elif [[ "${sanitizer}" == "thread" ]]; then
   # ThreadSanitizer gate for the deterministic execution layer: force the
   # pool wide even on small CI machines so kernels actually run threaded.
   build_dir="${SGLA_CHECK_BUILD_DIR:-build-tsan}"
   cmake_args+=(-DSGLA_SANITIZE=thread)
   export SGLA_THREADS="${SGLA_THREADS:-4}"
-  shift
-elif [[ "${1:-}" == "--bench-smoke" ]]; then
-  bench_smoke=1
-  shift
 fi
 
 jobs="$(nproc 2>/dev/null || echo 2)"
@@ -54,6 +81,7 @@ if [[ "${bench_smoke}" == "1" ]]; then
   exit 0
 fi
 
-ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" "$@"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+  ${ctest_args+"${ctest_args[@]}"}
 
 echo "check.sh: all green (${build_dir})"

@@ -14,6 +14,10 @@ namespace sgla {
 namespace cluster {
 namespace {
 
+/// Points per chunk of the fused assignment pass (the unit of the per-chunk
+/// reduction partials). Shard boundaries must be multiples of this.
+constexpr int64_t kPointGrain = 256;
+
 /// k-means++ seeding: each next center sampled proportional to D^2. Writes
 /// the k centers into `centers` (Reshaped here); `dist2_cache` is the reused
 /// D^2 working array.
@@ -54,7 +58,7 @@ void PlusPlusInit(const la::DenseMatrix& points, int k, Rng* rng,
 
 void LloydOnce(const la::DenseMatrix& points, int k,
                const KMeansOptions& options, Rng* rng, KMeansWorkspace* ws,
-               KMeansResult* result) {
+               KMeansResult* result, const util::ShardContext* shards) {
   const int64_t n = points.rows();
   const int64_t d = points.cols();
   PlusPlusInit(points, k, rng, &ws->dist2, &result->centers);
@@ -66,7 +70,6 @@ void LloydOnce(const la::DenseMatrix& points, int k,
   // and merges partials in chunk-index order, so labels, inertia, and center
   // sums are bit-identical at any thread count, run after run.
   util::ThreadPool& pool = util::ThreadPool::Global();
-  constexpr int64_t kPointGrain = 256;
   const int64_t chunks = util::ThreadPool::NumChunks(0, n, kPointGrain);
   if (static_cast<int64_t>(ws->sum_partial.size()) < chunks) {
     ws->sum_partial.resize(static_cast<size_t>(chunks));
@@ -82,37 +85,50 @@ void LloydOnce(const la::DenseMatrix& points, int k,
   ws->counts.assign(static_cast<size_t>(k), 0);
 
   for (int iter = 0; iter < options.max_iterations; ++iter) {
-    pool.ParallelForChunks(
-        0, n, kPointGrain, [&](int64_t chunk, int64_t lo, int64_t hi) {
-          la::DenseMatrix& sums = ws->sum_partial[static_cast<size_t>(chunk)];
-          std::vector<int64_t>& tallies =
-              ws->count_partial[static_cast<size_t>(chunk)];
-          std::fill(sums.data().begin(), sums.data().end(), 0.0);
-          std::fill(tallies.begin(), tallies.end(), 0);
-          double inertia = 0.0;
-          bool changed = false;
-          for (int64_t i = lo; i < hi; ++i) {
-            double best = std::numeric_limits<double>::max();
-            int32_t best_c = 0;
-            for (int c = 0; c < k; ++c) {
-              const double d2 =
-                  la::SquaredDistance(points.Row(i), result->centers.Row(c), d);
-              if (d2 < best) {
-                best = d2;
-                best_c = static_cast<int32_t>(c);
-              }
-            }
-            if (result->labels[static_cast<size_t>(i)] != best_c) {
-              result->labels[static_cast<size_t>(i)] = best_c;
-              changed = true;
-            }
-            inertia += best;
-            la::Axpy(1.0, points.Row(i), sums.Row(best_c), d);
-            ++tallies[static_cast<size_t>(best_c)];
+    const auto assign_chunk = [&](int64_t chunk, int64_t lo, int64_t hi) {
+      la::DenseMatrix& sums = ws->sum_partial[static_cast<size_t>(chunk)];
+      std::vector<int64_t>& tallies =
+          ws->count_partial[static_cast<size_t>(chunk)];
+      std::fill(sums.data().begin(), sums.data().end(), 0.0);
+      std::fill(tallies.begin(), tallies.end(), 0);
+      double inertia = 0.0;
+      bool changed = false;
+      for (int64_t i = lo; i < hi; ++i) {
+        double best = std::numeric_limits<double>::max();
+        int32_t best_c = 0;
+        for (int c = 0; c < k; ++c) {
+          const double d2 =
+              la::SquaredDistance(points.Row(i), result->centers.Row(c), d);
+          if (d2 < best) {
+            best = d2;
+            best_c = static_cast<int32_t>(c);
           }
-          ws->inertia_partial[static_cast<size_t>(chunk)] = inertia;
-          ws->changed_partial[static_cast<size_t>(chunk)] = changed ? 1 : 0;
-        });
+        }
+        if (result->labels[static_cast<size_t>(i)] != best_c) {
+          result->labels[static_cast<size_t>(i)] = best_c;
+          changed = true;
+        }
+        inertia += best;
+        la::Axpy(1.0, points.Row(i), sums.Row(best_c), d);
+        ++tallies[static_cast<size_t>(best_c)];
+      }
+      ws->inertia_partial[static_cast<size_t>(chunk)] = inertia;
+      ws->changed_partial[static_cast<size_t>(chunk)] = changed ? 1 : 0;
+    };
+    if (shards != nullptr && shards->num_shards > 1) {
+      // One TaskQueue job per shard, each walking its shard's fixed chunks
+      // in ascending order. Boundaries are grain-aligned (checked in
+      // KMeansInto), so the chunk set — and every per-chunk partial — is
+      // exactly the unsharded partition's; the merge below is unchanged.
+      shards->Run([&assign_chunk](int, int64_t row_lo, int64_t row_hi) {
+        for (int64_t c = row_lo / kPointGrain; c * kPointGrain < row_hi; ++c) {
+          const int64_t lo = c * kPointGrain;
+          assign_chunk(c, lo, std::min(row_hi, lo + kPointGrain));
+        }
+      });
+    } else {
+      pool.ParallelForChunks(0, n, kPointGrain, assign_chunk);
+    }
 
     bool changed = false;
     result->inertia = 0.0;
@@ -159,15 +175,30 @@ void LloydOnce(const la::DenseMatrix& points, int k,
 void KMeansInto(const la::DenseMatrix& points, int k,
                 const KMeansOptions& options, KMeansWorkspace* workspace,
                 KMeansResult* out) {
+  KMeansInto(points, k, options, workspace, out, nullptr);
+}
+
+void KMeansInto(const la::DenseMatrix& points, int k,
+                const KMeansOptions& options, KMeansWorkspace* workspace,
+                KMeansResult* out, const util::ShardContext* shards) {
   SGLA_CHECK(k > 0) << "KMeans needs k > 0";
   SGLA_CHECK(points.rows() >= k) << "KMeans needs at least k points";
+  if (shards != nullptr && shards->num_shards > 1) {
+    SGLA_CHECK(shards->rows() == points.rows())
+        << "k-means shard partition does not cover the points";
+    for (int s = 1; s < shards->num_shards; ++s) {
+      SGLA_CHECK(shards->boundaries[s] % kPointGrain == 0)
+          << "k-means shard boundary " << shards->boundaries[s]
+          << " is not a multiple of the assignment grain " << kPointGrain;
+    }
+  }
   Rng rng(options.seed);
   out->inertia = std::numeric_limits<double>::max();
   bool have_best = false;
   const int restarts = std::max(1, options.num_init);
   for (int attempt = 0; attempt < restarts; ++attempt) {
     KMeansResult& candidate = workspace->candidate;
-    LloydOnce(points, k, options, &rng, workspace, &candidate);
+    LloydOnce(points, k, options, &rng, workspace, &candidate, shards);
     if (!have_best || candidate.inertia < out->inertia) {
       // Buffer exchange instead of copy/move-assign keeps both slots warm.
       std::swap(*out, candidate);

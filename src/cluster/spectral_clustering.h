@@ -48,6 +48,18 @@ Status SpectralClusteringInto(const la::CsrMatrix& laplacian, int k,
                               SpectralWorkspace* workspace,
                               std::vector<int32_t>* out);
 
+/// Sharded form: the embedding eigensolve applies the Laplacian one
+/// row-shard SpMV job at a time (row-disjoint writes), and the k-means
+/// assignment pass runs sharded too (see the sharded KMeansInto). Labels
+/// are bit-identical to the unsharded call at any shard and thread count.
+/// `shards` must cover laplacian.rows; null or single-shard contexts take
+/// the unsharded path.
+Status SpectralClusteringInto(const la::CsrMatrix& laplacian, int k,
+                              const KMeansOptions& kmeans,
+                              SpectralWorkspace* workspace,
+                              std::vector<int32_t>* out,
+                              const util::ShardContext* shards);
+
 }  // namespace cluster
 }  // namespace sgla
 

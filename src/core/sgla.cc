@@ -5,14 +5,14 @@
 
 namespace sgla {
 namespace core {
+namespace {
 
-Result<IntegrationResult> SglaOnAggregator(const LaplacianAggregator& aggregator,
-                                           int k, const SglaOptions& options,
-                                           EvalWorkspace* workspace) {
-  if (k < 2) return InvalidArgument("SGLA needs k >= 2");
-  const int r = aggregator.num_views();
-
-  SpectralObjective objective(&aggregator, k, options.objective, workspace);
+/// The optimizer driver shared by the plain and sharded entry points: the
+/// backends differ only in how `objective` aggregates and applies the
+/// Laplacian, so one driver guarantees the two paths take identical
+/// decisions on identical objective values.
+Result<IntegrationResult> RunWeightSearch(SpectralObjective& objective, int r,
+                                          const SglaOptions& options) {
   auto h = [&objective](const la::Vector& w) {
     auto value = objective.Evaluate(w);
     // Infeasible/failed evaluations repel the optimizer instead of aborting;
@@ -35,6 +35,24 @@ Result<IntegrationResult> SglaOnAggregator(const LaplacianAggregator& aggregator
   result.weight_history = std::move(trace->point_history);
   result.laplacian = objective.AggregateAt(result.weights);
   return result;
+}
+
+}  // namespace
+
+Result<IntegrationResult> SglaOnAggregator(const LaplacianAggregator& aggregator,
+                                           int k, const SglaOptions& options,
+                                           EvalWorkspace* workspace) {
+  if (k < 2) return InvalidArgument("SGLA needs k >= 2");
+  SpectralObjective objective(&aggregator, k, options.objective, workspace);
+  return RunWeightSearch(objective, aggregator.num_views(), options);
+}
+
+Result<IntegrationResult> SglaOnShards(const ShardedAggregator& aggregator,
+                                       int k, const SglaOptions& options,
+                                       ShardedEvalWorkspace* workspace) {
+  if (k < 2) return InvalidArgument("SGLA needs k >= 2");
+  SpectralObjective objective(&aggregator, k, options.objective, workspace);
+  return RunWeightSearch(objective, aggregator.num_views(), options);
 }
 
 Result<IntegrationResult> Sgla(const std::vector<la::CsrMatrix>& views, int k,

@@ -23,11 +23,31 @@ std::vector<la::Vector> SglaPlusSamples(int r) {
   return samples;
 }
 
-Result<IntegrationResult> SglaPlusOnAggregator(
-    const LaplacianAggregator& aggregator, int k,
-    const SglaPlusOptions& options, EvalWorkspace* workspace) {
+namespace {
+
+/// The full-size aggregate backing one SGLA+ call: exactly one of
+/// plain/sharded is set, with the matching workspace. The sampled-subgraph
+/// objective (when node sampling kicks in) always runs unsharded and uses
+/// the plain EvalWorkspace — `base` of the sharded workspace in sharded
+/// mode.
+struct FullAggregate {
+  const LaplacianAggregator* plain = nullptr;
+  const ShardedAggregator* sharded = nullptr;
+  EvalWorkspace* eval = nullptr;
+  ShardedEvalWorkspace* sharded_eval = nullptr;
+
+  const std::vector<la::CsrMatrix>& views() const {
+    return plain != nullptr ? plain->views() : sharded->views();
+  }
+  EvalWorkspace* plain_workspace() const {
+    return eval != nullptr ? eval : &sharded_eval->base;
+  }
+};
+
+Result<IntegrationResult> SglaPlusImpl(const FullAggregate& full, int k,
+                                       const SglaPlusOptions& options) {
   if (k < 2) return InvalidArgument("SGLA+ needs k >= 2");
-  const std::vector<la::CsrMatrix>& views = aggregator.views();
+  const std::vector<la::CsrMatrix>& views = full.views();
   const int r = static_cast<int>(views.size());
   const int64_t n = views[0].rows;
 
@@ -57,7 +77,6 @@ Result<IntegrationResult> SglaPlusOnAggregator(
   // only the evaluations inside reuse the caller's workspace.
   std::vector<la::CsrMatrix> sampled_views;
   std::unique_ptr<LaplacianAggregator> sampled_aggregator;
-  const LaplacianAggregator* objective_aggregator = &aggregator;
   if (options.max_objective_nodes > 0 && n > options.max_objective_nodes) {
     std::vector<int64_t> keep =
         rng.SampleWithoutReplacement(n, options.max_objective_nodes);
@@ -66,11 +85,17 @@ Result<IntegrationResult> SglaPlusOnAggregator(
       sampled_views.push_back(la::SymmetricSubmatrix(v, keep));
     }
     sampled_aggregator.reset(new LaplacianAggregator(&sampled_views));
-    objective_aggregator = sampled_aggregator.get();
   }
 
-  SpectralObjective objective(objective_aggregator, k,
-                              options.base.objective, workspace);
+  SpectralObjective objective =
+      sampled_aggregator != nullptr
+          ? SpectralObjective(sampled_aggregator.get(), k,
+                              options.base.objective, full.plain_workspace())
+          : (full.sharded != nullptr
+                 ? SpectralObjective(full.sharded, k, options.base.objective,
+                                     full.sharded_eval)
+                 : SpectralObjective(full.plain, k, options.base.objective,
+                                     full.eval));
   IntegrationResult result;
   la::Vector values;
   values.reserve(samples.size());
@@ -103,16 +128,49 @@ Result<IntegrationResult> SglaPlusOnAggregator(
   }
 
   result.weights = std::move(minimizer);
-  if (objective_aggregator == &aggregator) {
-    // No node sampling: the shared aggregator already holds the full union
-    // pattern the objective evaluated on.
+  if (sampled_aggregator == nullptr) {
+    // No node sampling: the objective evaluated on the full union pattern
+    // (plain or sharded) and can materialize the final aggregate itself.
     result.laplacian = objective.AggregateAt(result.weights);
+  } else if (full.sharded != nullptr) {
+    // The final aggregation always uses the full views — shard jobs fill the
+    // per-shard buffers, then the slices gather into the full-size result
+    // (bit-identical to the unsharded fill).
+    ShardedEvalWorkspace* sws = full.sharded_eval;
+    if (sws->bound_pattern != full.sharded->pattern_id()) {
+      full.sharded->BindPattern(&sws->shard_aggregate);
+      sws->bound_pattern = full.sharded->pattern_id();
+    }
+    full.sharded->AggregateValuesInto(result.weights, &sws->shard_aggregate);
+    full.sharded->BindFullPattern(&result.laplacian);
+    full.sharded->GatherValues(sws->shard_aggregate, &result.laplacian);
   } else {
     // The final aggregation always uses the full views.
-    aggregator.BindPattern(&result.laplacian);
-    aggregator.AggregateValuesInto(result.weights, &result.laplacian);
+    full.plain->BindPattern(&result.laplacian);
+    full.plain->AggregateValuesInto(result.weights, &result.laplacian);
   }
   return result;
+}
+
+}  // namespace
+
+Result<IntegrationResult> SglaPlusOnAggregator(
+    const LaplacianAggregator& aggregator, int k,
+    const SglaPlusOptions& options, EvalWorkspace* workspace) {
+  FullAggregate full;
+  full.plain = &aggregator;
+  full.eval = workspace;
+  return SglaPlusImpl(full, k, options);
+}
+
+Result<IntegrationResult> SglaPlusOnShards(const ShardedAggregator& aggregator,
+                                           int k,
+                                           const SglaPlusOptions& options,
+                                           ShardedEvalWorkspace* workspace) {
+  FullAggregate full;
+  full.sharded = &aggregator;
+  full.sharded_eval = workspace;
+  return SglaPlusImpl(full, k, options);
 }
 
 Result<IntegrationResult> SglaPlus(const std::vector<la::CsrMatrix>& views,

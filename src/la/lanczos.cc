@@ -72,7 +72,7 @@ Status DenseSmallestInto(const CsrMatrix& matrix, int k,
 /// vector is kept orthogonal to the already-converged eigenvectors). Writes
 /// up to `want` Ritz pairs — ascending in M, with exact residuals — into
 /// bank rows [pass_base, pass_base + produced) and returns `produced`.
-int LanczosPassInto(const CsrMatrix& matrix, double sigma, int m, int want,
+int LanczosPassInto(const SpmvOperator& matrix, double sigma, int m, int want,
                     int num_locked, int pass_base, Rng* rng,
                     LanczosWorkspace* ws) {
   const int64_t n = matrix.rows;
@@ -115,7 +115,7 @@ int LanczosPassInto(const CsrMatrix& matrix, double sigma, int m, int want,
   for (int j = 0; j < m; ++j) {
     built = j + 1;
     // w = B v_j = sigma v_j - M v_j
-    Spmv(matrix, basis.Row(j), w.data());
+    matrix.apply(matrix.ctx, basis.Row(j), w.data());
     const double* vj = basis.Row(j);
     const auto combine = [sigma, vj, &w](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) {
@@ -191,7 +191,7 @@ int LanczosPassInto(const CsrMatrix& matrix, double sigma, int m, int want,
     const double vnorm = Norm2(assembled, n);
     if (vnorm < 1e-12) continue;  // row is re-zeroed for the next candidate
     Scale(1.0 / vnorm, assembled, n);
-    Spmv(matrix, assembled, mv.data());
+    matrix.apply(matrix.ctx, assembled, mv.data());
     Axpy(-value, assembled, mv.data(), n);
     ws->bank_value[static_cast<size_t>(pass_base + produced)] = value;
     ws->bank_residual[static_cast<size_t>(pass_base + produced)] =
@@ -201,7 +201,23 @@ int LanczosPassInto(const CsrMatrix& matrix, double sigma, int m, int want,
   return produced;
 }
 
+void CsrApply(const void* ctx, const double* x, double* y) {
+  Spmv(*static_cast<const CsrMatrix*>(ctx), x, y);
+}
+
 }  // namespace
+
+SpmvOperator CsrSpmvOperator(const CsrMatrix& m) {
+  SpmvOperator op;
+  op.rows = m.rows;
+  op.apply = &CsrApply;
+  op.ctx = &m;
+  return op;
+}
+
+bool UsesDenseFallback(int64_t n, int k) {
+  return n <= kDenseFallbackThreshold || k >= n - 2;
+}
 
 Result<Eigenpairs> SmallestEigenpairs(const CsrMatrix& matrix, int k,
                                       double spectrum_upper_bound,
@@ -222,8 +238,25 @@ Status SmallestEigenpairsInto(const CsrMatrix& matrix, int k,
   if (matrix.cols != n) return InvalidArgument("matrix must be square");
   if (k <= 0) return InvalidArgument("k must be positive");
   if (k > n) return InvalidArgument("k exceeds matrix dimension");
-  if (n <= kDenseFallbackThreshold || k >= n - 2) {
+  if (UsesDenseFallback(n, k)) {
     return DenseSmallestInto(matrix, k, ws, out);
+  }
+  return SmallestEigenpairsInto(CsrSpmvOperator(matrix), k,
+                                spectrum_upper_bound, options, ws, out);
+}
+
+Status SmallestEigenpairsInto(const SpmvOperator& matrix, int k,
+                              double spectrum_upper_bound,
+                              const LanczosOptions& options,
+                              LanczosWorkspace* ws, Eigenpairs* out) {
+  const int64_t n = matrix.rows;
+  if (matrix.apply == nullptr) return InvalidArgument("operator has no apply");
+  if (k <= 0) return InvalidArgument("k must be positive");
+  if (k > n) return InvalidArgument("k exceeds matrix dimension");
+  if (UsesDenseFallback(n, k)) {
+    return InvalidArgument(
+        "operator-form Lanczos cannot densify: matrix too small or k too "
+        "close to n (materialize a CsrMatrix for the dense fallback)");
   }
 
   const double sigma = spectrum_upper_bound;

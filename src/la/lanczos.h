@@ -50,6 +50,28 @@ struct LanczosWorkspace {
   DenseMatrix dense_sym;       ///< dense fallback: symmetrized copy
 };
 
+/// Matrix-free symmetric operator: apply(ctx, x, y) must overwrite all
+/// `rows` entries of y with M x (x is full-length, size rows) and must be
+/// deterministic — the Lanczos trajectory reproduces bit for bit only if
+/// every application does. CSR matrices wrap themselves via
+/// CsrSpmvOperator(); the sharded serving path implements apply by running
+/// one row-shard SpMV job per shard on a TaskQueue (row-disjoint writes, so
+/// the result equals the unsharded SpMV exactly).
+struct SpmvOperator {
+  int64_t rows = 0;
+  void (*apply)(const void* ctx, const double* x, double* y) = nullptr;
+  const void* ctx = nullptr;
+};
+
+/// Wraps `m` (which must outlive the operator) for the operator-form solver.
+SpmvOperator CsrSpmvOperator(const CsrMatrix& m);
+
+/// True when the CSR form below takes the dense Jacobi fallback (tiny matrix
+/// or nearly full spectrum requested) instead of running Lanczos. The
+/// operator form cannot densify a matrix-free operator and rejects such
+/// inputs; callers that might hit the fallback sizes must materialize a CSR.
+bool UsesDenseFallback(int64_t n, int k);
+
 /// The k algebraically smallest eigenpairs of a symmetric matrix, via Lanczos
 /// with full reorthogonalization on the spectral complement
 /// B = spectrum_upper_bound * I - M (so the target pairs become extremal).
@@ -64,6 +86,15 @@ Result<Eigenpairs> SmallestEigenpairs(const CsrMatrix& matrix, int k,
 /// steady-state calls at a fixed problem size are allocation-free. The
 /// convenience overload above is a thin wrapper over this.
 Status SmallestEigenpairsInto(const CsrMatrix& matrix, int k,
+                              double spectrum_upper_bound,
+                              const LanczosOptions& options,
+                              LanczosWorkspace* workspace, Eigenpairs* out);
+
+/// Operator form: identical Lanczos iteration with every matrix application
+/// routed through `op` — the CSR form above delegates here outside its dense
+/// fallback, so a CSR wrapped in CsrSpmvOperator produces the same bits.
+/// Fails with InvalidArgument when UsesDenseFallback(op.rows, k).
+Status SmallestEigenpairsInto(const SpmvOperator& op, int k,
                               double spectrum_upper_bound,
                               const LanczosOptions& options,
                               LanczosWorkspace* workspace, Eigenpairs* out);

@@ -102,6 +102,39 @@ void Spmv(const CsrMatrix& m, const double* x, double* y) {
       });
 }
 
+void SpmvRows(const CsrMatrix& m, const double* x, double* y,
+              int64_t row_begin, int64_t row_end) {
+  SGLA_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= m.rows)
+      << "SpmvRows range out of bounds";
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    double sum = 0.0;
+    const int64_t end = m.row_ptr[static_cast<size_t>(r) + 1];
+    for (int64_t p = m.row_ptr[static_cast<size_t>(r)]; p < end; ++p) {
+      sum += m.values[static_cast<size_t>(p)] *
+             x[m.col_idx[static_cast<size_t>(p)]];
+    }
+    y[r] = sum;
+  }
+}
+
+CsrMatrix RowSlice(const CsrMatrix& m, int64_t row_begin, int64_t row_end) {
+  SGLA_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= m.rows)
+      << "RowSlice range out of bounds";
+  CsrMatrix out;
+  out.rows = row_end - row_begin;
+  out.cols = m.cols;
+  out.row_ptr.resize(static_cast<size_t>(out.rows) + 1);
+  const int64_t base = m.row_ptr[static_cast<size_t>(row_begin)];
+  for (int64_t r = 0; r <= out.rows; ++r) {
+    out.row_ptr[static_cast<size_t>(r)] =
+        m.row_ptr[static_cast<size_t>(row_begin + r)] - base;
+  }
+  const int64_t nnz = m.row_ptr[static_cast<size_t>(row_end)] - base;
+  out.col_idx.assign(m.col_idx.begin() + base, m.col_idx.begin() + base + nnz);
+  out.values.assign(m.values.begin() + base, m.values.begin() + base + nnz);
+  return out;
+}
+
 void SpmvDense(const CsrMatrix& m, const DenseMatrix& x, DenseMatrix* y) {
   SGLA_CHECK(m.cols == x.rows()) << "SpmvDense shape mismatch";
   if (y->rows() != m.rows || y->cols() != x.cols()) {

@@ -34,6 +34,19 @@ CsrMatrix FromTriplets(int64_t rows, int64_t cols, std::vector<Triplet> entries)
 /// y = M * x. x has m.cols entries, y has m.rows entries (overwritten).
 void Spmv(const CsrMatrix& m, const double* x, double* y);
 
+/// y[r] = (M x)[r] for r in [row_begin, row_end) only — the same serial
+/// inner loop as Spmv, restricted to a row range and never dispatching to
+/// the pool. Shard jobs call this on their row slice of a shared matrix;
+/// because each row's dot product is unchanged, any row partition of calls
+/// reproduces Spmv bit for bit.
+void SpmvRows(const CsrMatrix& m, const double* x, double* y,
+              int64_t row_begin, int64_t row_end);
+
+/// Rows [row_begin, row_end) of m as their own CSR: row_ptr rebased to 0,
+/// column space unchanged (slices of a square matrix stay multipliable by
+/// full-length vectors). Values and columns are copied in row order.
+CsrMatrix RowSlice(const CsrMatrix& m, int64_t row_begin, int64_t row_end);
+
 /// Y = M * X for a dense block X (n x d), written into Y (rows x d).
 void SpmvDense(const CsrMatrix& m, const DenseMatrix& x, DenseMatrix* y);
 

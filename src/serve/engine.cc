@@ -16,6 +16,12 @@ Engine::Engine(GraphRegistry* registry, const EngineOptions& options)
 // resolving every outstanding future — before the workspaces its workers use.
 Engine::~Engine() = default;
 
+Result<std::shared_ptr<const GraphEntry>> Engine::RegisterGraph(
+    const std::string& id, const core::MultiViewGraph& mvag,
+    const RegisterOptions& options) {
+  return registry_->Register(id, mvag, options);
+}
+
 std::future<Result<SolveResponse>> Engine::Submit(SolveRequest request) {
   auto promise = std::make_shared<std::promise<Result<SolveResponse>>>();
   std::future<Result<SolveResponse>> future = promise->get_future();
@@ -64,21 +70,33 @@ Result<SolveResponse> Engine::Run(const SolveRequest& request,
                                   SessionWorkspace* ws) {
   const int k = request.k > 0 ? request.k : entry.num_clusters;
 
+  // Sharded entries run every hot kernel (aggregation, Lanczos mat-vecs,
+  // k-means assignment) as per-shard TaskQueue jobs; the two paths are
+  // bit-identical by construction and asserted so in tests.
+  const bool sharded = entry.sharded != nullptr;
   Result<core::IntegrationResult> integration =
-      request.algorithm == Algorithm::kSgla
-          ? core::SglaOnAggregator(*entry.aggregator, k,
-                                   request.options.base, &ws->eval)
-          : core::SglaPlusOnAggregator(*entry.aggregator, k, request.options,
-                                       &ws->eval);
+      sharded
+          ? (request.algorithm == Algorithm::kSgla
+                 ? core::SglaOnShards(entry.sharded->aggregator, k,
+                                      request.options.base, &ws->sharded_eval)
+                 : core::SglaPlusOnShards(entry.sharded->aggregator, k,
+                                          request.options, &ws->sharded_eval))
+          : (request.algorithm == Algorithm::kSgla
+                 ? core::SglaOnAggregator(*entry.aggregator, k,
+                                          request.options.base, &ws->eval)
+                 : core::SglaPlusOnAggregator(*entry.aggregator, k,
+                                              request.options, &ws->eval));
   if (!integration.ok()) return integration.status();
 
   SolveResponse response;
   response.graph_id = request.graph_id;
   response.integration = std::move(*integration);
   if (request.mode == SolveMode::kCluster) {
+    const util::ShardContext shards =
+        sharded ? entry.sharded->aggregator.context() : util::ShardContext();
     Status clustered = cluster::SpectralClusteringInto(
         response.integration.laplacian, k, request.kmeans, &ws->cluster,
-        &response.labels);
+        &response.labels, sharded ? &shards : nullptr);
     if (!clustered.ok()) return clustered;
   } else {
     auto embedding =

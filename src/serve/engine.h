@@ -75,6 +75,16 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Registers a graph on the underlying registry. `options.shards` is the
+  /// row-shard knob: 1 (default) is today's unsharded path; K > 1 serves
+  /// every solve on this graph shard-by-shard through the registry's shard
+  /// queue — bit-identical responses (asserted in tests), but one large
+  /// solve no longer monopolizes the kernel pool, so many big graphs can be
+  /// served concurrently.
+  Result<std::shared_ptr<const GraphEntry>> RegisterGraph(
+      const std::string& id, const core::MultiViewGraph& mvag,
+      const RegisterOptions& options = {});
+
   /// Enqueues a solve; the future resolves when a session worker finishes
   /// it. The graph snapshot is taken here, at submit time: a graph evicted
   /// (or replaced under the same id) afterwards still serves this request
@@ -96,9 +106,13 @@ class Engine {
   int64_t completed() const;
 
  private:
-  /// Per-session reusable state; index = session worker id.
+  /// Per-session reusable state; index = session worker id. The sharded
+  /// workspace carries the per-shard aggregate buffers — per session, not
+  /// per graph: like `eval`, it is stamped with the pattern it was bound to
+  /// and rebound when the session hops to a different sharded graph.
   struct SessionWorkspace {
     core::EvalWorkspace eval;
+    core::ShardedEvalWorkspace sharded_eval;
     cluster::SpectralWorkspace cluster;
   };
 

@@ -2,12 +2,36 @@
 
 #include <utility>
 
+#include "util/thread_pool.h"
+
 namespace sgla {
 namespace serve {
 
+std::shared_ptr<util::TaskQueue> GraphRegistry::ShardQueue() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shard_queue_ == nullptr) {
+    // Same sizing rule as the kernel pool (SGLA_THREADS override included),
+    // so sanitizer gates that pin the pool width pin the shard width too.
+    shard_queue_.reset(new util::TaskQueue(util::ThreadPool::DefaultThreads()));
+  }
+  return shard_queue_;
+}
+
 Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Publish(
-    std::shared_ptr<GraphEntry> entry) {
+    std::shared_ptr<GraphEntry> entry, const RegisterOptions& options) {
   entry->aggregator.reset(new core::LaplacianAggregator(&entry->views));
+  if (options.shards > 1 && entry->num_nodes > 0) {
+    ShardPlan plan = MakeShardPlan(entry->num_nodes, options.shards);
+    // A plan that collapsed to one shard is exactly the unsharded path;
+    // don't pay for slices that would add nothing.
+    if (plan.num_shards() > 1) {
+      std::vector<int64_t> boundaries = plan.boundaries;
+      entry->sharded.reset(new ShardedGraphEntry{
+          std::move(plan), core::ShardedAggregator(&entry->views,
+                                                   std::move(boundaries),
+                                                   ShardQueue())});
+    }
+  }
   std::shared_ptr<const GraphEntry> published = std::move(entry);
   std::lock_guard<std::mutex> lock(mutex_);
   auto inserted = graphs_.emplace(published->id, published);
@@ -20,22 +44,31 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Publish(
 
 Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Register(
     const std::string& id, const core::MultiViewGraph& mvag,
-    const graph::KnnOptions& knn) {
-  // The expensive part (KNN construction, Laplacians, union pattern) runs
-  // before the lock, so registration never stalls concurrent Find/Evict.
-  auto views = core::ComputeViewLaplacians(mvag, knn);
+    const RegisterOptions& options) {
+  // The expensive part (KNN construction, Laplacians, union pattern, shard
+  // slices) runs before the lock, so registration never stalls concurrent
+  // Find/Evict.
+  auto views = core::ComputeViewLaplacians(mvag, options.knn);
   if (!views.ok()) return views.status();
   auto entry = std::make_shared<GraphEntry>();
   entry->id = id;
   entry->num_nodes = mvag.num_nodes();
   entry->num_clusters = mvag.num_clusters();
   entry->views = std::move(*views);
-  return Publish(std::move(entry));
+  return Publish(std::move(entry), options);
+}
+
+Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Register(
+    const std::string& id, const core::MultiViewGraph& mvag,
+    const graph::KnnOptions& knn) {
+  RegisterOptions options;
+  options.knn = knn;
+  return Register(id, mvag, options);
 }
 
 Result<std::shared_ptr<const GraphEntry>> GraphRegistry::RegisterViews(
     const std::string& id, std::vector<la::CsrMatrix> views,
-    int num_clusters) {
+    int num_clusters, const RegisterOptions& options) {
   if (views.empty()) {
     return InvalidArgument("RegisterViews needs at least one view");
   }
@@ -44,7 +77,7 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::RegisterViews(
   entry->num_nodes = views[0].rows;
   entry->num_clusters = num_clusters;
   entry->views = std::move(views);
-  return Publish(std::move(entry));
+  return Publish(std::move(entry), options);
 }
 
 bool GraphRegistry::Evict(const std::string& id) {

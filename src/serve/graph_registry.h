@@ -13,10 +13,35 @@
 #include "core/view_laplacian.h"
 #include "graph/knn.h"
 #include "la/sparse.h"
+#include "serve/shard_plan.h"
 #include "util/status.h"
+#include "util/task_queue.h"
 
 namespace sgla {
 namespace serve {
+
+/// Registration-time knobs.
+struct RegisterOptions {
+  graph::KnnOptions knn;  ///< attribute-view KNN construction
+  /// Row shards to partition the graph into. 1 (default) serves the graph
+  /// through the unsharded path; K > 1 row-partitions the view Laplacians
+  /// and every hot kernel of its solves into K contiguous shards that run as
+  /// independent TaskQueue jobs — bit-identical output, but no single large
+  /// solve monopolizes the kernel pool. Clamped to the chunk count, so small
+  /// graphs quietly stay unsharded.
+  int shards = 1;
+};
+
+/// Row-sharded serving state of a registered graph: the deterministic shard
+/// plan plus the sharded aggregator owning per-shard CSR slices of every
+/// view Laplacian and a per-shard union pattern. Immutable and shared by
+/// concurrent solves exactly like the entry that owns it; the per-shard
+/// *workspaces* (mutable aggregate buffers) live in the engine's session
+/// workspaces, one set per concurrent solve.
+struct ShardedGraphEntry {
+  ShardPlan plan;
+  core::ShardedAggregator aggregator;
+};
 
 /// Immutable per-graph serving state, built once at registration: the view
 /// Laplacians and the aggregator holding their union sparsity pattern. Every
@@ -30,6 +55,9 @@ struct GraphEntry {
   /// Built after `views` is in place (it keeps a pointer into the entry);
   /// entries are therefore handed out only behind shared_ptr and never moved.
   std::unique_ptr<core::LaplacianAggregator> aggregator;
+  /// Present iff the graph was registered with shards > 1 (and is large
+  /// enough to split); solves then run shard-by-shard.
+  std::unique_ptr<const ShardedGraphEntry> sharded;
 };
 
 /// Registers/evicts MultiViewGraphs by id and hands out shared snapshots.
@@ -42,7 +70,11 @@ struct GraphEntry {
 class GraphRegistry {
  public:
   /// Precomputes view Laplacians (attribute views through `knn`) and the
-  /// union pattern, then publishes the entry. Fails on duplicate id.
+  /// union pattern — sharded per `options.shards` — then publishes the
+  /// entry. Fails on duplicate id.
+  Result<std::shared_ptr<const GraphEntry>> Register(
+      const std::string& id, const core::MultiViewGraph& mvag,
+      const RegisterOptions& options);
   Result<std::shared_ptr<const GraphEntry>> Register(
       const std::string& id, const core::MultiViewGraph& mvag,
       const graph::KnnOptions& knn = {});
@@ -51,7 +83,7 @@ class GraphRegistry {
   /// share views across registries). Fails on duplicate id or empty views.
   Result<std::shared_ptr<const GraphEntry>> RegisterViews(
       const std::string& id, std::vector<la::CsrMatrix> views,
-      int num_clusters);
+      int num_clusters, const RegisterOptions& options = {});
 
   /// Unlinks the entry; returns false if the id was not registered. The id
   /// becomes immediately re-registrable.
@@ -66,10 +98,16 @@ class GraphRegistry {
 
  private:
   Result<std::shared_ptr<const GraphEntry>> Publish(
-      std::shared_ptr<GraphEntry> entry);
+      std::shared_ptr<GraphEntry> entry, const RegisterOptions& options);
+
+  /// The queue shard jobs run on, created lazily at the first sharded
+  /// registration and shared by every sharded entry (entries hold the
+  /// shared_ptr, so snapshots outliving the registry keep a live queue).
+  std::shared_ptr<util::TaskQueue> ShardQueue();
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<const GraphEntry>> graphs_;
+  std::shared_ptr<util::TaskQueue> shard_queue_;  ///< under mutex_
 };
 
 }  // namespace serve

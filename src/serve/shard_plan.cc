@@ -1,0 +1,32 @@
+#include "serve/shard_plan.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace sgla {
+namespace serve {
+
+ShardPlan MakeShardPlan(int64_t rows, int num_shards, int64_t grain) {
+  SGLA_CHECK(rows > 0) << "shard plan needs at least one row";
+  SGLA_CHECK(grain > 0 && grain % util::kShardAlign == 0)
+      << "shard grain must be a positive multiple of util::kShardAlign";
+  ShardPlan plan;
+  plan.rows = rows;
+  plan.grain = grain;
+  const int64_t chunks = util::ThreadPool::NumChunks(0, rows, grain);
+  const int64_t k =
+      std::max<int64_t>(1, std::min<int64_t>(num_shards, chunks));
+  plan.boundaries.reserve(static_cast<size_t>(k) + 1);
+  for (int64_t s = 0; s <= k; ++s) {
+    // Chunk-count split, then back to rows: monotone in s, exact at the
+    // ends, and every interior boundary lands on a chunk edge (a multiple
+    // of grain).
+    plan.boundaries.push_back(std::min(rows, (chunks * s / k) * grain));
+  }
+  return plan;
+}
+
+}  // namespace serve
+}  // namespace sgla

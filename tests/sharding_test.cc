@@ -1,0 +1,365 @@
+// Row-sharding tests: ShardPlan boundary rules (chunk alignment, coverage,
+// clamping, ragged tails), slice/SpmvRows identities, sharded-vs-plain
+// aggregator bit-identity, and end-to-end bit-identity of the sharded solve
+// path (Sgla, SglaPlus, spectral clustering, engine responses) against the
+// unsharded path at K = 1, 2, 5 shards and SGLA_THREADS = 1, 4 — including
+// an n not divisible by K (ragged final shard).
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/kmeans.h"
+#include "cluster/spectral_clustering.h"
+#include "core/aggregator.h"
+#include "core/integration.h"
+#include "data/generator.h"
+#include "graph/laplacian.h"
+#include "la/lanczos.h"
+#include "la/sparse.h"
+#include "serve/engine.h"
+#include "serve/graph_registry.h"
+#include "serve/shard_plan.h"
+#include "util/rng.h"
+#include "util/sharding.h"
+#include "util/task_queue.h"
+#include "util/thread_pool.h"
+
+namespace sgla {
+namespace {
+
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() {
+    util::ThreadPool::SetGlobalThreads(util::ThreadPool::DefaultThreads());
+  }
+};
+
+std::vector<la::CsrMatrix> MakeViews(int64_t n, int k, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> labels = data::BalancedLabels(n, k, &rng);
+  graph::Graph g1 = data::SbmGraph(labels, k, 0.04, 0.004, &rng);
+  graph::Graph g2 = data::SbmGraph(labels, k, 0.02, 0.010, &rng);
+  return {graph::NormalizedLaplacian(g1), graph::NormalizedLaplacian(g2)};
+}
+
+void ExpectCsrEq(const la::CsrMatrix& a, const la::CsrMatrix& b) {
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.cols, b.cols);
+  EXPECT_EQ(a.row_ptr, b.row_ptr);
+  EXPECT_EQ(a.col_idx, b.col_idx);
+  EXPECT_EQ(a.values, b.values);  // exact: sharding promises identical bits
+}
+
+TEST(ShardPlanTest, BoundariesAlignedCoveringAndRagged) {
+  // 2570 rows at grain 512 -> 6 chunks (the last covers rows [2560, 2570)).
+  serve::ShardPlan plan = serve::MakeShardPlan(2570, 5);
+  ASSERT_EQ(plan.num_shards(), 5);
+  EXPECT_EQ(plan.boundaries.front(), 0);
+  EXPECT_EQ(plan.boundaries.back(), 2570);
+  for (int s = 0; s < plan.num_shards(); ++s) {
+    EXPECT_LT(plan.shard_begin(s), plan.shard_end(s));
+    if (s > 0) {
+      EXPECT_EQ(plan.shard_begin(s) % util::kShardAlign, 0);
+    }
+  }
+  // The ragged tail rides with the last shard.
+  EXPECT_EQ(plan.shard_end(4), 2570);
+
+  // Deterministic: same inputs, same boundaries.
+  EXPECT_EQ(serve::MakeShardPlan(2570, 5).boundaries, plan.boundaries);
+}
+
+TEST(ShardPlanTest, ClampsToChunkCount) {
+  // 600 rows -> 2 chunks: asking for 5 shards yields 2.
+  serve::ShardPlan plan = serve::MakeShardPlan(600, 5);
+  EXPECT_EQ(plan.num_shards(), 2);
+  EXPECT_EQ(plan.boundaries, (std::vector<int64_t>{0, 512, 600}));
+  // Sub-chunk graphs collapse to a single shard.
+  EXPECT_EQ(serve::MakeShardPlan(100, 4).num_shards(), 1);
+  EXPECT_EQ(serve::MakeShardPlan(100, 1).num_shards(), 1);
+}
+
+TEST(ShardingTest, RowSliceAndSpmvRowsMatchFullSpmv) {
+  const auto views = MakeViews(1400, 4, 7);
+  const la::CsrMatrix& m = views[0];
+  la::Vector x(static_cast<size_t>(m.cols));
+  Rng rng(13);
+  for (double& v : x) v = rng.Gaussian();
+
+  la::Vector reference(static_cast<size_t>(m.rows));
+  la::Spmv(m, x.data(), reference.data());
+
+  serve::ShardPlan plan = serve::MakeShardPlan(m.rows, 3);
+  ASSERT_EQ(plan.num_shards(), 3);
+  la::Vector sharded(static_cast<size_t>(m.rows), 0.0);
+  for (int s = 0; s < plan.num_shards(); ++s) {
+    la::SpmvRows(m, x.data(), sharded.data(), plan.shard_begin(s),
+                 plan.shard_end(s));
+  }
+  EXPECT_EQ(sharded, reference);
+
+  // Slices re-based to local rows reproduce the same entries.
+  la::Vector sliced(static_cast<size_t>(m.rows), 0.0);
+  for (int s = 0; s < plan.num_shards(); ++s) {
+    la::CsrMatrix slice = la::RowSlice(m, plan.shard_begin(s),
+                                       plan.shard_end(s));
+    EXPECT_EQ(slice.rows, plan.shard_end(s) - plan.shard_begin(s));
+    la::Spmv(slice, x.data(), sliced.data() + plan.shard_begin(s));
+  }
+  EXPECT_EQ(sliced, reference);
+}
+
+TEST(ShardingTest, ShardedAggregatorBitIdenticalToPlain) {
+  const auto views = MakeViews(2570, 4, 21);  // ragged at K = 5
+  core::LaplacianAggregator plain(&views);
+  const std::vector<double> weights = {0.35, 0.65};
+  const la::CsrMatrix& reference = plain.Aggregate(weights);
+
+  auto queue = std::make_shared<util::TaskQueue>(4);
+  for (int shards : {2, 5}) {
+    serve::ShardPlan plan = serve::MakeShardPlan(2570, shards);
+    ASSERT_EQ(plan.num_shards(), shards);
+    core::ShardedAggregator sharded(&views, plan.boundaries, queue);
+
+    std::vector<la::CsrMatrix> buffers;
+    sharded.BindPattern(&buffers);
+    sharded.AggregateValuesInto(weights, &buffers);
+    la::CsrMatrix full;
+    sharded.BindFullPattern(&full);
+    sharded.GatherValues(buffers, &full);
+    ExpectCsrEq(full, reference);
+
+    // The sharded operator reproduces the plain SpMV bit for bit.
+    la::Vector x(static_cast<size_t>(full.cols));
+    Rng rng(5);
+    for (double& v : x) v = rng.Gaussian();
+    la::Vector expect(static_cast<size_t>(full.rows));
+    la::Spmv(reference, x.data(), expect.data());
+    core::ShardedAggregator::SpmvContext ctx{&sharded, &buffers};
+    la::SpmvOperator op = core::ShardedAggregator::OperatorOver(&ctx);
+    la::Vector got(static_cast<size_t>(full.rows), 0.0);
+    op.apply(op.ctx, x.data(), got.data());
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(ShardingTest, ObjectiveEvaluationBitIdentical) {
+  const auto views = MakeViews(1400, 4, 91);
+  core::LaplacianAggregator plain(&views);
+  core::EvalWorkspace plain_ws;
+  core::SpectralObjective reference(&plain, 4, core::ObjectiveOptions(),
+                                    &plain_ws);
+
+  auto queue = std::make_shared<util::TaskQueue>(4);
+  serve::ShardPlan plan = serve::MakeShardPlan(1400, 2);
+  core::ShardedAggregator aggregator(&views, plan.boundaries, queue);
+  core::ShardedEvalWorkspace ws;
+  core::SpectralObjective sharded(&aggregator, 4, core::ObjectiveOptions(),
+                                  &ws);
+
+  ThreadCountGuard guard;
+  for (int threads : {1, 4}) {
+    util::ThreadPool::SetGlobalThreads(threads);
+    for (const std::vector<double>& w :
+         {std::vector<double>{0.5, 0.5}, {0.15, 0.85}, {0.8, 0.2}}) {
+      auto expect = reference.Evaluate(w);
+      auto got = sharded.Evaluate(w);
+      ASSERT_TRUE(expect.ok() && got.ok());
+      EXPECT_EQ(got->h, expect->h);
+      EXPECT_EQ(got->eigengap, expect->eigengap);
+      EXPECT_EQ(got->lambda2, expect->lambda2);
+    }
+  }
+}
+
+TEST(ShardingTest, KMeansShardedBitIdentical) {
+  Rng rng(31);
+  const std::vector<int32_t> labels = data::BalancedLabels(2000, 4, &rng);
+  la::DenseMatrix points = data::GaussianAttributes(labels, 4, 6, 2.0, 1.0,
+                                                    &rng);
+  cluster::KMeansOptions options;
+  options.num_init = 2;
+  cluster::KMeansWorkspace plain_ws;
+  cluster::KMeansResult reference;
+  cluster::KMeansInto(points, 4, options, &plain_ws, &reference);
+
+  auto queue = std::make_shared<util::TaskQueue>(4);
+  ThreadCountGuard guard;
+  for (int shards : {2, 3}) {
+    serve::ShardPlan plan = serve::MakeShardPlan(points.rows(), shards);
+    util::ShardContext ctx = plan.Context(queue.get());
+    for (int threads : {1, 4}) {
+      util::ThreadPool::SetGlobalThreads(threads);
+      cluster::KMeansWorkspace ws;
+      cluster::KMeansResult result;
+      cluster::KMeansInto(points, 4, options, &ws, &result, &ctx);
+      EXPECT_EQ(result.labels, reference.labels);
+      EXPECT_EQ(result.inertia, reference.inertia);
+      EXPECT_EQ(result.centers.data(), reference.centers.data());
+    }
+  }
+}
+
+TEST(ShardingTest, SglaSolveBitIdenticalAcrossShardAndThreadCounts) {
+  const auto views = MakeViews(1100, 3, 41);
+  core::SglaOptions options;
+  options.max_evaluations = 12;  // identical trimmed search on both paths
+  auto reference = core::Sgla(views, 3, options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  auto queue = std::make_shared<util::TaskQueue>(4);
+  ThreadCountGuard guard;
+  for (int shards : {2, 3}) {
+    serve::ShardPlan plan = serve::MakeShardPlan(1100, shards);
+    ASSERT_EQ(plan.num_shards(), shards);
+    core::ShardedAggregator aggregator(&views, plan.boundaries, queue);
+    for (int threads : {1, 4}) {
+      util::ThreadPool::SetGlobalThreads(threads);
+      core::ShardedEvalWorkspace workspace;
+      auto result = core::SglaOnShards(aggregator, 3, options, &workspace);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result->weights, reference->weights);
+      EXPECT_EQ(result->objective_history, reference->objective_history);
+      ExpectCsrEq(result->laplacian, reference->laplacian);
+
+      // Sharded clustering on the integrated Laplacian: same labels.
+      auto expect_labels = cluster::SpectralClustering(reference->laplacian, 3);
+      ASSERT_TRUE(expect_labels.ok());
+      cluster::SpectralWorkspace cluster_ws;
+      std::vector<int32_t> labels;
+      util::ShardContext ctx = plan.Context(queue.get());
+      ASSERT_TRUE(cluster::SpectralClusteringInto(result->laplacian, 3,
+                                                  cluster::KMeansOptions(),
+                                                  &cluster_ws, &labels, &ctx)
+                      .ok());
+      EXPECT_EQ(labels, *expect_labels);
+    }
+  }
+}
+
+TEST(ShardingTest, SglaPlusBitIdenticalRaggedAndSampled) {
+  const auto views = MakeViews(2570, 4, 61);  // 2570 % 5 != 0 and != c * 512
+  auto queue = std::make_shared<util::TaskQueue>(4);
+
+  // Full-size evaluations (no node sampling kicks in below 4096 nodes).
+  core::SglaPlusOptions options;
+  auto reference = core::SglaPlus(views, 4, options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  // Node-sampled evaluations + sharded final aggregation.
+  core::SglaPlusOptions sampled_options;
+  sampled_options.max_objective_nodes = 700;
+  auto sampled_reference = core::SglaPlus(views, 4, sampled_options);
+  ASSERT_TRUE(sampled_reference.ok());
+
+  serve::ShardPlan plan = serve::MakeShardPlan(2570, 5);
+  core::ShardedAggregator aggregator(&views, plan.boundaries, queue);
+  ThreadCountGuard guard;
+  for (int threads : {1, 4}) {
+    util::ThreadPool::SetGlobalThreads(threads);
+    core::ShardedEvalWorkspace workspace;
+    auto result = core::SglaPlusOnShards(aggregator, 4, options, &workspace);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->weights, reference->weights);
+    EXPECT_EQ(result->objective_history, reference->objective_history);
+    ExpectCsrEq(result->laplacian, reference->laplacian);
+
+    auto sampled = core::SglaPlusOnShards(aggregator, 4, sampled_options,
+                                          &workspace);
+    ASSERT_TRUE(sampled.ok()) << sampled.status().ToString();
+    EXPECT_EQ(sampled->weights, sampled_reference->weights);
+    ExpectCsrEq(sampled->laplacian, sampled_reference->laplacian);
+  }
+}
+
+TEST(ShardingTest, EngineShardedGraphBitIdenticalToUnsharded) {
+  Rng rng(71);
+  std::vector<int32_t> labels = data::BalancedLabels(1100, 3, &rng);
+  core::MultiViewGraph mvag(1100, 3);
+  mvag.AddGraphView(data::SbmGraph(labels, 3, 0.05, 0.005, &rng));
+  mvag.AddGraphView(data::SbmGraph(labels, 3, 0.03, 0.010, &rng));
+  mvag.set_labels(std::move(labels));
+
+  serve::GraphRegistry registry;
+  serve::Engine engine(&registry);
+  serve::RegisterOptions unsharded;
+  ASSERT_TRUE(engine.RegisterGraph("k1", mvag, unsharded).ok());
+  serve::RegisterOptions two;
+  two.shards = 2;
+  ASSERT_TRUE(engine.RegisterGraph("k2", mvag, two).ok());
+  serve::RegisterOptions many;
+  many.shards = 5;  // 1100 rows -> 3 chunks: clamps to 3 shards
+  auto many_entry = engine.RegisterGraph("k5", mvag, many);
+  ASSERT_TRUE(many_entry.ok());
+  ASSERT_NE((*many_entry)->sharded, nullptr);
+  EXPECT_EQ((*many_entry)->sharded->plan.num_shards(), 3);
+
+  serve::SolveRequest request;
+  request.options.base.max_evaluations = 12;
+  for (auto algorithm : {serve::Algorithm::kSgla, serve::Algorithm::kSglaPlus}) {
+    request.algorithm = algorithm;
+    request.graph_id = "k1";
+    auto reference = engine.Solve(request);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    for (const char* id : {"k2", "k5"}) {
+      request.graph_id = id;
+      auto response = engine.Solve(request);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      EXPECT_EQ(response->integration.weights,
+                reference->integration.weights);
+      EXPECT_EQ(response->integration.objective_history,
+                reference->integration.objective_history);
+      ExpectCsrEq(response->integration.laplacian,
+                  reference->integration.laplacian);
+      EXPECT_EQ(response->labels, reference->labels);
+    }
+  }
+
+  // shards = 1 through the knob is exactly today's path: no sharded state.
+  auto k1 = registry.Find("k1");
+  ASSERT_NE(k1, nullptr);
+  EXPECT_EQ(k1->sharded, nullptr);
+}
+
+TEST(ShardingTest, EngineShardedAcrossThreadCounts) {
+  Rng rng(81);
+  std::vector<int32_t> labels = data::BalancedLabels(1100, 3, &rng);
+  core::MultiViewGraph mvag(1100, 3);
+  mvag.AddGraphView(data::SbmGraph(labels, 3, 0.05, 0.005, &rng));
+  mvag.AddGraphView(data::SbmGraph(labels, 3, 0.03, 0.010, &rng));
+  mvag.set_labels(std::move(labels));
+
+  serve::GraphRegistry registry;
+  serve::RegisterOptions options;
+  ASSERT_TRUE(registry.Register("plain", mvag, options).ok());
+  options.shards = 3;
+  ASSERT_TRUE(registry.Register("sharded", mvag, options).ok());
+
+  serve::SolveRequest request;
+  request.options.base.max_evaluations = 12;
+  request.graph_id = "plain";
+  Result<serve::SolveResponse> reference = NotFound("unset");
+  {
+    serve::Engine engine(&registry);
+    reference = engine.Solve(request);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  }
+
+  ThreadCountGuard guard;
+  request.graph_id = "sharded";
+  for (int threads : {1, 4}) {
+    util::ThreadPool::SetGlobalThreads(threads);
+    serve::Engine engine(&registry);
+    auto response = engine.Solve(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->integration.weights, reference->integration.weights);
+    ExpectCsrEq(response->integration.laplacian,
+                reference->integration.laplacian);
+    EXPECT_EQ(response->labels, reference->labels);
+  }
+}
+
+}  // namespace
+}  // namespace sgla
