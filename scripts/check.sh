@@ -10,10 +10,14 @@ Flags (combinable, e.g. `--asan --bench-smoke`):
   --asan         AddressSanitizer build in build-asan/
   --tsan         ThreadSanitizer build in build-tsan/ (pool forced to
                  SGLA_THREADS=4 so kernels actually run threaded)
+  --ubsan        UndefinedBehaviorSanitizer build in build-ubsan/
+                 (findings abort: -fno-sanitize-recover=undefined)
   --bench-smoke  skip ctest; run the Engine microbenches at a tiny time
                  budget and write BENCH_engine.json (per-kernel ns +
                  allocs_per_iter; the steady-state benches must report 0)
   --help, -h     this message
+
+--asan, --tsan and --ubsan are mutually exclusive.
 
 Anything else is passed through to ctest (e.g. -R sharding_test).
 Environment:
@@ -28,11 +32,12 @@ bench_smoke=0
 ctest_args=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    --asan|--tsan)
+    --asan|--tsan|--ubsan)
       flag_sanitizer=address
       [[ "$1" == "--tsan" ]] && flag_sanitizer=thread
+      [[ "$1" == "--ubsan" ]] && flag_sanitizer=undefined
       if [[ -n "${sanitizer}" && "${sanitizer}" != "${flag_sanitizer}" ]]; then
-        echo "check.sh: --asan and --tsan are mutually exclusive" >&2
+        echo "check.sh: --asan, --tsan and --ubsan are mutually exclusive" >&2
         exit 2
       fi
       sanitizer="${flag_sanitizer}"
@@ -55,6 +60,9 @@ elif [[ "${sanitizer}" == "thread" ]]; then
   build_dir="${SGLA_CHECK_BUILD_DIR:-build-tsan}"
   cmake_args+=(-DSGLA_SANITIZE=thread)
   export SGLA_THREADS="${SGLA_THREADS:-4}"
+elif [[ "${sanitizer}" == "undefined" ]]; then
+  build_dir="${SGLA_CHECK_BUILD_DIR:-build-ubsan}"
+  cmake_args+=(-DSGLA_SANITIZE=undefined)
 fi
 
 jobs="$(nproc 2>/dev/null || echo 2)"

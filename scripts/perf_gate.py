@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Perf regression gate over google-benchmark JSON.
+
+Usage: perf_gate.py BASELINE.json CURRENT.json
+
+Two checks:
+
+1. **Zero-allocation contract (hard fail).** The steady-state engine benches
+   (`BM_EngineObjectiveSteadyState`, `BM_EngineAggregateSteadyState`) must
+   report `allocs_per_iter == 0` in CURRENT. Full-solve and update benches
+   legitimately allocate and are recorded, not gated.
+
+2. **Timing ratio gate.** For every *compute-bound* bench present in both
+   files (TIMING_GATED prefixes — the async full-solve benches report
+   microsecond main-thread submit/wait cpu_time while the work runs on pool
+   threads, which is pure scheduler noise; they are printed informationally,
+   never gated), compute ratio = current_cpu_ns / baseline_cpu_ns, then
+   divide by the **median ratio across the gated benches** — the median
+   absorbs machine-speed differences between the baseline machine and the
+   runner, so the gate flags benches that regressed *relative to the rest of
+   the suite*, not slow hardware. Normalized ratio > FAIL_RATIO (1.5)
+   fails, > WARN_RATIO (1.2) warns.
+
+Re-baselining: run `scripts/check.sh --bench-smoke` (or download the
+BENCH_engine artifact from a trusted CI run) and commit the JSON as
+BENCH_baseline.json. Do this whenever benches are added/renamed or an
+intentional perf trade-off moves steady-state numbers (see DESIGN.md,
+"Perf regression gate").
+"""
+
+import json
+import statistics
+import sys
+
+FAIL_RATIO = 1.5
+WARN_RATIO = 1.2
+ALLOC_GATED = ("BM_EngineObjectiveSteadyState", "BM_EngineAggregateSteadyState")
+# Compute-bound benches whose cpu_time measures real work on the calling
+# thread. BM_EngineSolveCluster* and BM_EngineWarmResolveAfterUpdate are
+# deliberately absent: their solves run on session workers, so caller-thread
+# cpu_time is submit/wait overhead (scheduler noise on shared runners).
+TIMING_GATED = (
+    "BM_EngineObjectiveSteadyState",
+    "BM_EngineAggregateSteadyState",
+    "BM_EngineUpdateGraphValueOnly",
+)
+
+
+def load_benches(path):
+    with open(path) as f:
+        report = json.load(f)
+    benches = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name", "")
+        if name:
+            benches[name] = bench
+    return benches
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    baseline = load_benches(sys.argv[1])
+    current = load_benches(sys.argv[2])
+    failures = []
+    warnings = []
+
+    # 1. Allocation contract.
+    alloc_checked = 0
+    for name, bench in sorted(current.items()):
+        if not name.startswith(ALLOC_GATED):
+            continue
+        alloc_checked += 1
+        allocs = bench.get("allocs_per_iter")
+        if allocs is None or allocs > 0:
+            failures.append(f"{name}: allocs_per_iter={allocs} (contract: 0)")
+    if alloc_checked == 0:
+        failures.append("no steady-state engine benches found in current run")
+
+    # 2. Machine-normalized timing ratios over the compute-bound benches.
+    ratios = {}
+    informational = {}
+    for name, bench in current.items():
+        base = baseline.get(name)
+        if base is None:
+            continue
+        base_ns = base.get("cpu_time")
+        cur_ns = bench.get("cpu_time")
+        if not base_ns or not cur_ns or base_ns <= 0:
+            continue
+        if name.startswith(TIMING_GATED):
+            ratios[name] = cur_ns / base_ns
+        else:
+            informational[name] = cur_ns / base_ns
+    if ratios:
+        median = statistics.median(ratios.values())
+        print(f"median raw ratio (machine-speed factor): {median:.3f}")
+        for name, ratio in sorted(ratios.items()):
+            normalized = ratio / median
+            marker = " "
+            if normalized > FAIL_RATIO:
+                failures.append(
+                    f"{name}: normalized ratio {normalized:.2f} > {FAIL_RATIO}")
+                marker = "F"
+            elif normalized > WARN_RATIO:
+                warnings.append(
+                    f"{name}: normalized ratio {normalized:.2f} > {WARN_RATIO}")
+                marker = "W"
+            print(f"  [{marker}] {name}: raw {ratio:.2f} "
+                  f"normalized {normalized:.2f}")
+        for name, ratio in sorted(informational.items()):
+            print(f"  [i] {name}: raw {ratio:.2f} (not gated: async/submit "
+                  f"overhead timing)")
+    else:
+        warnings.append("no gated benches shared between baseline and current")
+
+    for warning in warnings:
+        print(f"WARNING: {warning}")
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    if failures:
+        sys.exit(1)
+    print(f"OK: {alloc_checked} alloc-gated benches clean, "
+          f"{len(ratios)} timing ratios within {FAIL_RATIO}x of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -70,6 +70,24 @@ LaplacianAggregator::LaplacianAggregator(
   aggregate_.values.assign(aggregate_.col_idx.size(), 0.0);
 }
 
+LaplacianAggregator::LaplacianAggregator(
+    const std::vector<la::CsrMatrix>* views, const LaplacianAggregator& donor)
+    : views_(views),
+      aggregate_(donor.aggregate_),
+      scatter_(donor.scatter_),
+      pattern_id_(donor.pattern_id_) {
+  SGLA_CHECK(views != nullptr && views->size() == donor.views_->size())
+      << "pattern-donor aggregator view count mismatch";
+  for (size_t v = 0; v < views->size(); ++v) {
+    const la::CsrMatrix& mine = (*views)[v];
+    const la::CsrMatrix& theirs = (*donor.views_)[v];
+    SGLA_CHECK(mine.rows == theirs.rows && mine.cols == theirs.cols &&
+               mine.row_ptr == theirs.row_ptr && mine.col_idx == theirs.col_idx)
+        << "pattern-donor aggregator: view " << v
+        << " changed sparsity (value-only updates must keep every pattern)";
+  }
+}
+
 void LaplacianAggregator::FillValues(const std::vector<double>& weights,
                                      double* values) const {
   SGLA_CHECK(weights.size() == views_->size())
@@ -162,6 +180,64 @@ ShardedAggregator::ShardedAggregator(const std::vector<la::CsrMatrix>* views,
     }
     shard.aggregator.reset(new LaplacianAggregator(&shard.views));
   });
+  nnz_offsets_.assign(shards_.size() + 1, 0);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    nnz_offsets_[s + 1] =
+        nnz_offsets_[s] + shards_[s]->aggregator->pattern().nnz();
+  }
+}
+
+ShardedAggregator::ShardedAggregator(const std::vector<la::CsrMatrix>* views,
+                                     const ShardedAggregator& donor,
+                                     const std::vector<bool>& view_changed)
+    : views_(views), boundaries_(donor.boundaries_), queue_(donor.queue_) {
+  SGLA_CHECK(views != nullptr && views->size() == donor.views_->size() &&
+             view_changed.size() == views->size())
+      << "donor sharded aggregator view count mismatch";
+  const int64_t rows = (*views)[0].rows;
+  SGLA_CHECK(rows == donor.boundaries_.back())
+      << "donor sharded aggregator row count mismatch";
+  for (const la::CsrMatrix& v : *views) {
+    SGLA_CHECK(v.rows == rows && v.cols == (*views)[0].cols)
+        << "sharded aggregator view shape mismatch";
+  }
+
+  shards_.resize(donor.shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s].reset(new Shard());
+    shards_[s]->begin = boundaries_[s];
+    shards_[s]->end = boundaries_[s + 1];
+  }
+  // One job per shard, like the from-scratch build: unaffected views' slices
+  // are copied verbatim from the donor shard, affected views are re-sliced,
+  // and the expensive union-pattern merge re-runs only for shards where an
+  // affected slice changed sparsity.
+  std::vector<char> shard_reused(shards_.size(), 0);
+  context().Run([this, &donor, &view_changed, &shard_reused](int s, int64_t lo,
+                                                            int64_t hi) {
+    Shard& shard = *shards_[static_cast<size_t>(s)];
+    const Shard& theirs = *donor.shards_[static_cast<size_t>(s)];
+    shard.views.reserve(views_->size());
+    bool pattern_kept = true;
+    for (size_t v = 0; v < views_->size(); ++v) {
+      if (view_changed[v]) {
+        shard.views.push_back(la::RowSlice((*views_)[v], lo, hi));
+        const la::CsrMatrix& mine = shard.views.back();
+        const la::CsrMatrix& donor_slice = theirs.views[v];
+        pattern_kept = pattern_kept && mine.row_ptr == donor_slice.row_ptr &&
+                       mine.col_idx == donor_slice.col_idx;
+      } else {
+        shard.views.push_back(theirs.views[v]);
+      }
+    }
+    shard.aggregator.reset(
+        pattern_kept ? new LaplacianAggregator(&shard.views, *theirs.aggregator)
+                     : new LaplacianAggregator(&shard.views));
+    shard_reused[static_cast<size_t>(s)] = pattern_kept ? 1 : 0;
+  });
+  bool all_reused = true;
+  for (char reused : shard_reused) all_reused = all_reused && reused != 0;
+  pattern_id_ = all_reused ? donor.pattern_id_ : NextPatternId();
   nnz_offsets_.assign(shards_.size() + 1, 0);
   for (size_t s = 0; s < shards_.size(); ++s) {
     nnz_offsets_[s + 1] =

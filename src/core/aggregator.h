@@ -29,6 +29,16 @@ class LaplacianAggregator {
   /// `views` must outlive the aggregator. All views share one shape.
   explicit LaplacianAggregator(const std::vector<la::CsrMatrix>* views);
 
+  /// Pattern-donor form for value-only graph updates: every view of `views`
+  /// must have exactly the sparsity pattern of the matching donor view
+  /// (checked), and the new aggregator copies the donor's union pattern,
+  /// scatter maps AND pattern_id instead of re-running the k-way merge.
+  /// Keeping the donor's pattern_id is the point — workspaces stamped with
+  /// it skip rebinding, so a value-only epoch swap costs zero pattern work
+  /// on the solve hot path.
+  LaplacianAggregator(const std::vector<la::CsrMatrix>* views,
+                      const LaplacianAggregator& donor);
+
   int num_views() const { return static_cast<int>(views_->size()); }
   const std::vector<la::CsrMatrix>& views() const { return *views_; }
 
@@ -91,6 +101,19 @@ class ShardedAggregator {
   ShardedAggregator(const std::vector<la::CsrMatrix>* views,
                     std::vector<int64_t> boundaries,
                     std::shared_ptr<util::TaskQueue> queue);
+
+  /// Incremental-update form: rebuilds only what a graph delta touched.
+  /// `views` holds the post-update views (same shapes and boundaries as the
+  /// donor's); `view_changed[v]` marks views the delta affected. Unaffected
+  /// views' shard slices are copied from the donor; affected views are
+  /// re-sliced, and a shard re-runs its union-pattern merge only when one of
+  /// its affected slices actually changed sparsity — otherwise the shard
+  /// aggregator is donor-copied (pattern + scatter, no merge). The outer
+  /// pattern_id is preserved iff every shard kept its pattern, so value-only
+  /// deltas leave bound shard workspaces valid.
+  ShardedAggregator(const std::vector<la::CsrMatrix>* views,
+                    const ShardedAggregator& donor,
+                    const std::vector<bool>& view_changed);
 
   int num_views() const { return static_cast<int>(views_->size()); }
   int num_shards() const { return static_cast<int>(shards_.size()); }

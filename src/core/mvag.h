@@ -39,6 +39,16 @@ class MultiViewGraph {
     attribute_views_.push_back(std::move(x));
   }
 
+  /// Mutable view access for incremental updates (serve::ApplyDelta edits
+  /// edge lists and attribute rows in place; view counts and the node set
+  /// never change after construction).
+  graph::Graph* mutable_graph_view(int view) {
+    return &graph_views_[static_cast<size_t>(view)];
+  }
+  la::DenseMatrix* mutable_attribute_view(int view) {
+    return &attribute_views_[static_cast<size_t>(view)];
+  }
+
  private:
   int64_t num_nodes_ = 0;
   int num_clusters_ = 0;

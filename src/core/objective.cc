@@ -79,6 +79,11 @@ Result<ObjectiveValue> SpectralObjective::Evaluate(
   // Convex combinations of normalized Laplacians keep the spectrum in [0, 2].
   la::LanczosOptions lanczos;
   lanczos.max_subspace = options_.lanczos_subspace;
+  // The row-count guard lives in the eigensolver; passing the seed through
+  // unconditionally keeps the SGLA+ node-sampling path (subgraph-sized
+  // solves) silently cold instead of erroring.
+  lanczos.warm_start = options_.warm_start;
+  la::LanczosStats stats;
   Status solved;
   if (sharded_ != nullptr &&
       !la::UsesDenseFallback(sharded_->rows(), k_ + 1)) {
@@ -91,20 +96,21 @@ Result<ObjectiveValue> SpectralObjective::Evaluate(
     solved = la::SmallestEigenpairsInto(ShardedAggregator::OperatorOver(&ctx),
                                         k_ + 1, 2.0, lanczos,
                                         &workspace_->lanczos,
-                                        &workspace_->eigen);
+                                        &workspace_->eigen, &stats);
   } else if (sharded_ != nullptr) {
     // Problem small enough for the dense fallback: materialize the full
     // aggregate and take the CSR path (identical to the unsharded solve).
     solved = la::SmallestEigenpairsInto(MaterializeFull(), k_ + 1, 2.0,
                                         lanczos, &workspace_->lanczos,
-                                        &workspace_->eigen);
+                                        &workspace_->eigen, &stats);
   } else {
     solved = la::SmallestEigenpairsInto(workspace_->aggregate, k_ + 1, 2.0,
                                         lanczos, &workspace_->lanczos,
-                                        &workspace_->eigen);
+                                        &workspace_->eigen, &stats);
   }
   if (!solved.ok()) return solved;
   ++evaluations_;
+  lanczos_iterations_ += stats.iterations;
 
   const la::Vector& lambda = workspace_->eigen.values;
   ObjectiveValue value;
@@ -121,6 +127,7 @@ Result<ObjectiveValue> SpectralObjective::Evaluate(
                                      static_cast<int64_t>(weights.size()));
   if (options_.use_eigengap) value.h += value.eigengap;
   if (options_.use_connectivity) value.h -= value.lambda2;
+  value.lanczos_iterations = stats.iterations;
   return value;
 }
 

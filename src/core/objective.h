@@ -23,6 +23,14 @@ struct ObjectiveOptions {
   bool use_connectivity = true;
   /// Eigensolver controls; subspace 0 = auto.
   int lanczos_subspace = 0;
+  /// Non-owning warm-start seed for every eigensolve this objective runs:
+  /// columns are a previous solve's Ritz vectors on a nearby graph (the
+  /// serving layer passes the SolveCache entry of the pre-update epoch).
+  /// Null — the default — keeps evaluations bit-identical to today; non-null
+  /// trades bit-identity for strictly fewer Lanczos iterations on
+  /// small-delta re-solves (see la::LanczosOptions::warm_start). Ignored
+  /// when the row count mismatches (e.g. SGLA+ node-sampled evaluations).
+  const la::DenseMatrix* warm_start = nullptr;
 };
 
 /// One evaluation of the integration objective at a weight vector.
@@ -30,6 +38,9 @@ struct ObjectiveValue {
   double h = 0.0;         ///< full objective (lower is better)
   double eigengap = 0.0;  ///< g_k(L_w) = lambda_k / lambda_{k+1}, in [0, 1]
   double lambda2 = 0.0;   ///< algebraic connectivity of L_w
+  /// Lanczos basis vectors the evaluation's eigensolve built (0 on the
+  /// dense fallback) — the cost metric warm-started solves drive down.
+  int lanczos_iterations = 0;
 };
 
 /// All mutable hot-loop state of one objective-evaluation session: the
@@ -110,6 +121,10 @@ class SpectralObjective {
   /// Number of Evaluate() calls so far (the paper's iteration counter t).
   int64_t evaluations() const { return evaluations_; }
 
+  /// Total Lanczos basis vectors built across all Evaluate() calls — the
+  /// solve-cost counter the serving layer reports per response.
+  int64_t total_lanczos_iterations() const { return lanczos_iterations_; }
+
  private:
   /// Rebinds the workspace buffer(s) to this aggregator's pattern if they
   /// were last used against a different one, then fills the values.
@@ -128,6 +143,7 @@ class SpectralObjective {
   int k_;
   ObjectiveOptions options_;
   int64_t evaluations_ = 0;
+  int64_t lanczos_iterations_ = 0;
 };
 
 }  // namespace core

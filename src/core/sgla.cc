@@ -26,6 +26,7 @@ Result<IntegrationResult> RunWeightSearch(SpectralObjective& objective, int r,
                        : opt::SimplexMethod::kCobyla;
   simplex.epsilon = options.epsilon;
   simplex.max_evaluations = options.max_evaluations;
+  simplex.initial_point = options.initial_weights;
   auto trace = opt::MinimizeOnSimplex(r, h, simplex);
   if (!trace.ok()) return trace.status();
 
@@ -34,6 +35,7 @@ Result<IntegrationResult> RunWeightSearch(SpectralObjective& objective, int r,
   result.objective_history = std::move(trace->value_history);
   result.weight_history = std::move(trace->point_history);
   result.laplacian = objective.AggregateAt(result.weights);
+  result.lanczos_iterations = objective.total_lanczos_iterations();
   return result;
 }
 

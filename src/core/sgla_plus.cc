@@ -128,6 +128,7 @@ Result<IntegrationResult> SglaPlusImpl(const FullAggregate& full, int k,
   }
 
   result.weights = std::move(minimizer);
+  result.lanczos_iterations = objective.total_lanczos_iterations();
   if (sampled_aggregator == nullptr) {
     // No node sampling: the objective evaluated on the full union pattern
     // (plain or sharded) and can materialize the final aggregate itself.

@@ -46,5 +46,27 @@ Result<std::vector<la::CsrMatrix>> ComputeViewLaplacians(
   return views;
 }
 
+Result<la::CsrMatrix> ComputeViewLaplacian(const MultiViewGraph& mvag,
+                                           int view,
+                                           const graph::KnnOptions& knn) {
+  const int num_graphs = static_cast<int>(mvag.graph_views().size());
+  if (view < 0 || view >= mvag.num_views()) {
+    return InvalidArgument("view index out of range");
+  }
+  if (view < num_graphs) {
+    const graph::Graph& g = mvag.graph_views()[static_cast<size_t>(view)];
+    if (g.num_nodes() != mvag.num_nodes()) {
+      return InvalidArgument("graph view node count mismatch");
+    }
+    return graph::NormalizedLaplacian(g);
+  }
+  const la::DenseMatrix& x =
+      mvag.attribute_views()[static_cast<size_t>(view - num_graphs)];
+  if (x.rows() != mvag.num_nodes()) {
+    return InvalidArgument("attribute view row count mismatch");
+  }
+  return graph::NormalizedLaplacian(graph::KnnGraph(x, knn));
+}
+
 }  // namespace core
 }  // namespace sgla

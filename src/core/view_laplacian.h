@@ -17,6 +17,13 @@ namespace core {
 Result<std::vector<la::CsrMatrix>> ComputeViewLaplacians(
     const MultiViewGraph& mvag, const graph::KnnOptions& knn = {});
 
+/// The Laplacian of one view only, in the same global ordering (graph views
+/// first). Bit-identical to ComputeViewLaplacians(mvag, knn)[view] — the
+/// incremental-update path recomputes just the views a delta touched.
+Result<la::CsrMatrix> ComputeViewLaplacian(const MultiViewGraph& mvag,
+                                           int view,
+                                           const graph::KnnOptions& knn = {});
+
 }  // namespace core
 }  // namespace sgla
 

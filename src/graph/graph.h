@@ -36,6 +36,11 @@ class Graph {
   int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
   const std::vector<Edge>& edges() const { return edges_; }
 
+  /// Mutable edge-list access for incremental updates (serve::ApplyDelta
+  /// edits weights and inserts/erases edges in place). Callers own keeping
+  /// endpoints in range; the Laplacian builder re-checks.
+  std::vector<Edge>* mutable_edges() { return &edges_; }
+
  private:
   int64_t num_nodes_ = 0;
   std::vector<Edge> edges_;

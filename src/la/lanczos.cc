@@ -72,10 +72,22 @@ Status DenseSmallestInto(const CsrMatrix& matrix, int k,
 /// vector is kept orthogonal to the already-converged eigenvectors). Writes
 /// up to `want` Ritz pairs — ascending in M, with exact residuals — into
 /// bank rows [pass_base, pass_base + produced) and returns `produced`.
+///
+/// `seed` (when non-null, length n) replaces the random start direction —
+/// warm solves pass a combination of a previous solve's Ritz vectors. A
+/// positive `early_exit_tolerance` lets the basis loop stop before the full
+/// m steps once the residual *estimates* (beta_j |s_{j,i}|, the classic
+/// Lanczos bound) of the top `early_want` pairs all clear it; locking still
+/// uses exact residuals, so an optimistic estimate can only cost another
+/// pass, never a wrong pair. Cold solves pass seed=null / tolerance<=0 and
+/// take exactly the historical trajectory. `built_out` reports the basis
+/// vectors built (the solve's iteration count).
 int LanczosPassInto(const SpmvOperator& matrix, double sigma, int m, int want,
-                    int num_locked, int pass_base, Rng* rng,
-                    LanczosWorkspace* ws) {
+                    int num_locked, int pass_base, const double* seed,
+                    double early_exit_tolerance, int early_want, Rng* rng,
+                    LanczosWorkspace* ws, int* built_out) {
   const int64_t n = matrix.rows;
+  if (built_out != nullptr) *built_out = 0;
 
   DenseMatrix& basis = ws->basis;  // row-per-basis-vector, contiguous axpys
   basis.Reshape(m, n);
@@ -100,7 +112,11 @@ int LanczosPassInto(const SpmvOperator& matrix, double sigma, int m, int want,
 
   Vector& v = ws->v;
   v.assign(static_cast<size_t>(n), 0.0);
-  for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i)] = rng->Gaussian();
+  if (seed != nullptr) {
+    std::copy(seed, seed + n, v.begin());
+  } else {
+    for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i)] = rng->Gaussian();
+  }
   deflate(v.data(), 0);
   {
     const double norm = Norm2(v.data(), n);
@@ -108,6 +124,39 @@ int LanczosPassInto(const SpmvOperator& matrix, double sigma, int m, int want,
     Scale(1.0 / norm, v.data(), n);
   }
   std::copy(v.begin(), v.end(), basis.Row(0));
+
+  // Rayleigh-Ritz state: the tridiagonal size the ritz buffers currently
+  // hold, so an early-exited pass reuses the decomposition its last
+  // estimate check just computed instead of re-running Jacobi on the same
+  // inputs.
+  int ritz_steps = 0;
+
+  // True when the current (j+1)-step tridiagonal's residual estimates for
+  // the top `early_want` pairs of B all clear the tolerance — the signal
+  // that extending the basis further would not change which pairs lock.
+  const auto estimates_converged = [&](int steps) {
+    DenseMatrix& tri = ws->tri;
+    tri.Reshape(steps, steps);
+    for (int t = 0; t < steps; ++t) {
+      tri(t, t) = alpha[static_cast<size_t>(t)];
+      if (t + 1 < steps) {
+        tri(t, t + 1) = beta[static_cast<size_t>(t)];
+        tri(t + 1, t) = beta[static_cast<size_t>(t)];
+      }
+    }
+    JacobiEigenSymmetric(tri, &ws->ritz_values, &ws->ritz_vectors,
+                         &ws->jacobi);
+    ritz_steps = steps;
+    const double coupling = beta[static_cast<size_t>(steps - 1)];
+    const int count = std::min(early_want, steps);
+    for (int i = 0; i < count; ++i) {
+      const int src = steps - 1 - i;  // largest of B sit at the end
+      const double estimate =
+          std::fabs(coupling * ws->ritz_vectors(steps - 1, src));
+      if (estimate > early_exit_tolerance) return false;
+    }
+    return count >= early_want;
+  };
 
   Vector& w = ws->w;
   w.assign(static_cast<size_t>(n), 0.0);
@@ -144,22 +193,37 @@ int LanczosPassInto(const SpmvOperator& matrix, double sigma, int m, int want,
       } else {
         Scale(1.0 / norm, w.data(), n);
         beta[static_cast<size_t>(j)] = norm;
+        // Warm solves check the cheap tridiagonal residual estimates every
+        // other step once the subspace could plausibly hold the wanted pairs,
+        // and stop extending the basis as soon as they all clear the
+        // tolerance. Cold solves (tolerance <= 0) never take this branch.
+        if (early_exit_tolerance > 0.0 && j + 1 >= early_want + 2 &&
+            (j + 1) % 2 == 0 && estimates_converged(j + 1)) {
+          break;
+        }
       }
       std::copy(w.begin(), w.end(), basis.Row(j + 1));
     }
   }
 
+  if (built_out != nullptr) *built_out = built;
+
   // Rayleigh-Ritz on the tridiagonal (dense Jacobi is fine at these sizes).
-  DenseMatrix& tri = ws->tri;
-  tri.Reshape(built, built);
-  for (int j = 0; j < built; ++j) {
-    tri(j, j) = alpha[static_cast<size_t>(j)];
-    if (j + 1 < built) {
-      tri(j, j + 1) = beta[static_cast<size_t>(j)];
-      tri(j + 1, j) = beta[static_cast<size_t>(j)];
+  // An early-exited pass already decomposed exactly this tridiagonal in its
+  // last estimate check; reuse it instead of re-running Jacobi.
+  if (ritz_steps != built) {
+    DenseMatrix& tri = ws->tri;
+    tri.Reshape(built, built);
+    for (int j = 0; j < built; ++j) {
+      tri(j, j) = alpha[static_cast<size_t>(j)];
+      if (j + 1 < built) {
+        tri(j, j + 1) = beta[static_cast<size_t>(j)];
+        tri(j + 1, j) = beta[static_cast<size_t>(j)];
+      }
     }
+    JacobiEigenSymmetric(tri, &ws->ritz_values, &ws->ritz_vectors,
+                         &ws->jacobi);
   }
-  JacobiEigenSymmetric(tri, &ws->ritz_values, &ws->ritz_vectors, &ws->jacobi);
 
   // Largest of B == smallest of M; they sit at the end of the ascending list.
   int produced = 0;
@@ -233,23 +297,27 @@ Result<Eigenpairs> SmallestEigenpairs(const CsrMatrix& matrix, int k,
 Status SmallestEigenpairsInto(const CsrMatrix& matrix, int k,
                               double spectrum_upper_bound,
                               const LanczosOptions& options,
-                              LanczosWorkspace* ws, Eigenpairs* out) {
+                              LanczosWorkspace* ws, Eigenpairs* out,
+                              LanczosStats* stats) {
   const int64_t n = matrix.rows;
   if (matrix.cols != n) return InvalidArgument("matrix must be square");
   if (k <= 0) return InvalidArgument("k must be positive");
   if (k > n) return InvalidArgument("k exceeds matrix dimension");
   if (UsesDenseFallback(n, k)) {
+    if (stats != nullptr) *stats = LanczosStats();
     return DenseSmallestInto(matrix, k, ws, out);
   }
   return SmallestEigenpairsInto(CsrSpmvOperator(matrix), k,
-                                spectrum_upper_bound, options, ws, out);
+                                spectrum_upper_bound, options, ws, out, stats);
 }
 
 Status SmallestEigenpairsInto(const SpmvOperator& matrix, int k,
                               double spectrum_upper_bound,
                               const LanczosOptions& options,
-                              LanczosWorkspace* ws, Eigenpairs* out) {
+                              LanczosWorkspace* ws, Eigenpairs* out,
+                              LanczosStats* stats) {
   const int64_t n = matrix.rows;
+  if (stats != nullptr) *stats = LanczosStats();
   if (matrix.apply == nullptr) return InvalidArgument("operator has no apply");
   if (k <= 0) return InvalidArgument("k must be positive");
   if (k > n) return InvalidArgument("k exceeds matrix dimension");
@@ -287,16 +355,77 @@ Status SmallestEigenpairsInto(const SpmvOperator& matrix, int k,
   const double tolerance =
       std::max(options.tolerance, 1e-12) * std::max(1.0, std::fabs(sigma));
   Rng rng(options.seed);
+
+  // Warm start: the cached Ritz vectors (ascending by value, matching the
+  // locking order) each seed one short *refinement pass*. A cached vector is
+  // within O(delta) of the updated matrix's eigenvector, so the deflated
+  // Krylov space seeded with it isolates that pair in a handful of steps —
+  // the pass stops at the first residual-estimate checkpoint that clears the
+  // tolerance instead of building the full m-step basis. Deflation against
+  // the pairs locked so far is what makes this work on (near-)degenerate
+  // spectra, where a single blended seed cannot separate the directions.
+  // Unproductive warm passes fall back to the cold restart loop, so a bad
+  // cache costs extra iterations but never a wrong pair. Seeds whose row
+  // count mismatches are ignored (e.g. the SGLA+ node-sampled subgraph).
+  const bool use_warm = options.warm_start != nullptr &&
+                        options.warm_start->rows() == n &&
+                        options.warm_start->cols() > 0;
+  const int warm_cols =
+      use_warm ? static_cast<int>(
+                     std::min<int64_t>(options.warm_start->cols(), k))
+               : 0;
+  if (stats != nullptr) stats->warm = use_warm;
+
   int num_locked = 0;                          // bank rows [0, num_locked)
   std::vector<int>& leftovers = ws->leftovers;  // best unconverged, final pass
   leftovers.clear();
-  const int max_passes = 3;
+  const int max_cold_passes = 3;
+  bool warm_active = use_warm;
+  const int max_passes = warm_cols + max_cold_passes;
   for (int pass = 0; pass < max_passes && num_locked < k; ++pass) {
     const int missing = k - num_locked;
     const int pass_base = k + (pass % 2) * (k + 1);
-    const int produced = LanczosPassInto(matrix, sigma, m, missing + 1,
-                                         num_locked, pass_base, &rng, ws);
-    if (produced == 0) break;
+    const double* seed = nullptr;
+    if (warm_active && num_locked < warm_cols) {
+      // Seed with the cached vector of the smallest still-unlocked pair,
+      // plus a ~1% deterministic admixture (a seed from a different matrix
+      // can be deficient in the wanted direction; the admixture keeps it
+      // Krylov-reachable).
+      const DenseMatrix& cached = *options.warm_start;
+      Vector& warm_seed = ws->warm_seed;
+      warm_seed.assign(static_cast<size_t>(n), 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        warm_seed[static_cast<size_t>(i)] = cached(i, num_locked);
+      }
+      const double seed_norm = Norm2(warm_seed.data(), n);
+      if (seed_norm >= 1e-12) {
+        const double amp =
+            0.01 * seed_norm / std::sqrt(static_cast<double>(n));
+        for (int64_t i = 0; i < n; ++i) {
+          warm_seed[static_cast<size_t>(i)] += amp * rng.Gaussian();
+        }
+        seed = warm_seed.data();
+      }
+    }
+    if (seed == nullptr) warm_active = false;
+    // A warm refinement pass targets one pair (plus one spare candidate);
+    // cold passes keep the historical want of missing + 1.
+    const int want = warm_active ? std::min(missing + 1, 2) : missing + 1;
+    int built = 0;
+    const int produced = LanczosPassInto(
+        matrix, sigma, m, want, num_locked, pass_base, seed,
+        warm_active ? tolerance : 0.0, /*early_want=*/1, &rng, ws, &built);
+    if (stats != nullptr) {
+      stats->iterations += built;
+      ++stats->passes;
+    }
+    if (produced == 0) {
+      if (warm_active) {
+        warm_active = false;  // degenerate seed: retry cold from this state
+        continue;
+      }
+      break;
+    }
     bool locked_any = false;
     leftovers.clear();
     for (int p = 0; p < produced; ++p) {
@@ -315,7 +444,24 @@ Status SmallestEigenpairsInto(const SpmvOperator& matrix, int k,
         leftovers.push_back(row);
       }
     }
-    if (!locked_any) break;  // no further progress at this subspace size
+    if (!locked_any) {
+      // A pair that refuses to lock after a FULL m-step pass (spectral-bulk
+      // tail) stops a cold solve, which then serves the best leftover
+      // approximations — the documented early-exit design. A warm solve may
+      // stop the same way, but only when its failed pass also ran the full
+      // m steps (an early-exited pass whose optimistic estimate failed the
+      // exact-residual check must retry instead — never serve a leftover a
+      // cold solve would have refined further) and left enough candidates
+      // to fill the output. Otherwise it falls back to the cold loop.
+      const bool full_pass = built >= m;
+      const bool can_fill =
+          num_locked + static_cast<int>(leftovers.size()) >= k;
+      if (warm_active && !(full_pass && can_fill)) {
+        warm_active = false;  // the cache stopped helping: go cold
+        continue;
+      }
+      break;  // no further progress at this subspace size
+    }
   }
 
   // Fill any remaining slots with the best unconverged approximations.

@@ -24,13 +24,22 @@ la::Vector UniformPoint(int dim) {
   return la::Vector(static_cast<size_t>(dim), 1.0 / dim);
 }
 
-/// Initial regular-ish simplex: uniform center plus one vertex-shifted point
-/// per coordinate, all projected back onto the feasible set.
-std::vector<la::Vector> InitialSimplex(int dim, double step) {
+la::Vector StartPoint(int dim, const SimplexOptions& options) {
+  if (static_cast<int>(options.initial_point.size()) == dim) {
+    return ProjectToSimplex(options.initial_point);
+  }
+  return UniformPoint(dim);
+}
+
+/// Initial regular-ish simplex: the start point (uniform unless the options
+/// re-center it) plus one vertex-shifted point per coordinate, all projected
+/// back onto the feasible set.
+std::vector<la::Vector> InitialSimplex(int dim, double step,
+                                       const SimplexOptions& options) {
   std::vector<la::Vector> points;
-  points.push_back(UniformPoint(dim));
+  points.push_back(StartPoint(dim, options));
   for (int i = 0; i < dim; ++i) {
-    la::Vector p = UniformPoint(dim);
+    la::Vector p = points.front();
     p[static_cast<size_t>(i)] += step;
     points.push_back(ProjectToSimplex(std::move(p)));
   }
@@ -42,7 +51,7 @@ Result<SimplexTrace> NelderMead(
     const SimplexOptions& options) {
   SimplexTrace trace;
   std::vector<Evaluated> simplex;
-  for (la::Vector& p : InitialSimplex(dim, options.initial_step)) {
+  for (la::Vector& p : InitialSimplex(dim, options.initial_step, options)) {
     simplex.push_back({p, f(p)});
     ++trace.evaluations;
   }
@@ -127,7 +136,7 @@ Result<SimplexTrace> Cobyla(int dim,
                             const SimplexOptions& options) {
   SimplexTrace trace;
   std::vector<Evaluated> points;
-  for (la::Vector& p : InitialSimplex(dim, options.initial_step)) {
+  for (la::Vector& p : InitialSimplex(dim, options.initial_step, options)) {
     points.push_back({p, f(p)});
     ++trace.evaluations;
   }

@@ -9,6 +9,7 @@ namespace serve {
 
 Engine::Engine(GraphRegistry* registry, const EngineOptions& options)
     : registry_(registry),
+      warm_cache_(options.warm_cache),
       workspaces_(static_cast<size_t>(std::max(1, options.num_sessions))),
       queue_(std::max(1, options.num_sessions)) {}
 
@@ -20,6 +21,18 @@ Result<std::shared_ptr<const GraphEntry>> Engine::RegisterGraph(
     const std::string& id, const core::MultiViewGraph& mvag,
     const RegisterOptions& options) {
   return registry_->Register(id, mvag, options);
+}
+
+Result<std::shared_ptr<const GraphEntry>> Engine::UpdateGraph(
+    const std::string& id, const GraphDelta& delta) {
+  // The warm-start cache intentionally survives the epoch bump: the updated
+  // spectrum is close to its predecessor's, which is what warm solves use.
+  return registry_->UpdateGraph(id, delta);
+}
+
+bool Engine::EvictGraph(const std::string& id) {
+  cache_.Invalidate(id);
+  return registry_->Evict(id);
 }
 
 std::future<Result<SolveResponse>> Engine::Submit(SolveRequest request) {
@@ -70,6 +83,32 @@ Result<SolveResponse> Engine::Run(const SolveRequest& request,
                                   SessionWorkspace* ws) {
   const int k = request.k > 0 ? request.k : entry.num_clusters;
 
+  // Warm start: seed the weight search and every objective eigensolve from
+  // the cached previous solve of this exact (graph, mode, algorithm, k).
+  // The entry is an immutable snapshot (shared_ptr), so a concurrent Store
+  // for the same key cannot mutate the seed mid-solve. Cold requests take
+  // the historical trajectory untouched.
+  const SolveCache::Key cache_key{request.graph_id,
+                                  static_cast<int>(request.mode),
+                                  static_cast<int>(request.algorithm), k};
+  std::shared_ptr<const SolveCache::Entry> warm;
+  if (request.warm_start) {
+    warm = cache_.Lookup(cache_key);
+    // The lineage stamp rejects seeds banked by a solve of a *previous
+    // registration* under this id (a late Store can land after EvictGraph
+    // invalidated the bank); updates keep their lineage, so seeds survive
+    // epochs exactly as intended.
+    if (warm != nullptr && (warm->lineage != entry.lineage ||
+                            warm->num_nodes != entry.num_nodes)) {
+      warm = nullptr;
+    }
+  }
+  core::SglaPlusOptions options = request.options;
+  if (warm != nullptr) {
+    options.base.objective.warm_start = &warm->ritz_vectors;
+    options.base.initial_weights = warm->weights;
+  }
+
   // Sharded entries run every hot kernel (aggregation, Lanczos mat-vecs,
   // k-means assignment) as per-shard TaskQueue jobs; the two paths are
   // bit-identical by construction and asserted so in tests.
@@ -78,19 +117,49 @@ Result<SolveResponse> Engine::Run(const SolveRequest& request,
       sharded
           ? (request.algorithm == Algorithm::kSgla
                  ? core::SglaOnShards(entry.sharded->aggregator, k,
-                                      request.options.base, &ws->sharded_eval)
+                                      options.base, &ws->sharded_eval)
                  : core::SglaPlusOnShards(entry.sharded->aggregator, k,
-                                          request.options, &ws->sharded_eval))
+                                          options, &ws->sharded_eval))
           : (request.algorithm == Algorithm::kSgla
                  ? core::SglaOnAggregator(*entry.aggregator, k,
-                                          request.options.base, &ws->eval)
+                                          options.base, &ws->eval)
                  : core::SglaPlusOnAggregator(*entry.aggregator, k,
-                                              request.options, &ws->eval));
+                                              options, &ws->eval));
   if (!integration.ok()) return integration.status();
 
   SolveResponse response;
   response.graph_id = request.graph_id;
   response.integration = std::move(*integration);
+  response.stats.graph_epoch = entry.epoch;
+  response.stats.warm_started = warm != nullptr;
+  response.stats.lanczos_iterations = response.integration.lanczos_iterations;
+
+  // Bank the last evaluation's spectrum for future warm starts (a probe
+  // point near w* — the final aggregation runs no eigensolve, and "near the
+  // updated spectrum" is all a refinement seed needs). Skip when that
+  // eigensolve ran on an SGLA+ node-sampled subgraph (wrong size to seed a
+  // full solve), when banking is disabled, or when the graph was evicted or
+  // replaced mid-solve — the lineage re-check keeps a late-finishing solve
+  // from parking an unusable (lineage-mismatched) matrix in the bank that
+  // EvictGraph already invalidated. An eviction racing the tiny window
+  // between this check and Store can still leave one stale entry; it is
+  // unusable (the lookup's lineage guard rejects it) and overwritten by the
+  // replacement's next solve.
+  const la::Eigenpairs& eigen =
+      sharded ? ws->sharded_eval.base.eigen : ws->eval.eigen;
+  const std::shared_ptr<const GraphEntry> current =
+      registry_->Find(request.graph_id);
+  if (warm_cache_ && current != nullptr &&
+      current->lineage == entry.lineage &&
+      eigen.vectors.rows() == entry.num_nodes && eigen.vectors.cols() > 0) {
+    SolveCache::Entry banked;
+    banked.lineage = entry.lineage;
+    banked.epoch = entry.epoch;
+    banked.num_nodes = entry.num_nodes;
+    banked.weights = response.integration.weights;
+    banked.ritz_vectors = eigen.vectors;
+    cache_.Store(cache_key, std::move(banked));
+  }
   if (request.mode == SolveMode::kCluster) {
     const util::ShardContext shards =
         sharded ? entry.sharded->aggregator.context() : util::ShardContext();

@@ -12,6 +12,7 @@
 #include "core/integration.h"
 #include "embed/netmf.h"
 #include "serve/graph_registry.h"
+#include "serve/solve_cache.h"
 #include "util/status.h"
 #include "util/task_queue.h"
 
@@ -38,10 +39,29 @@ struct SolveRequest {
   /// backend); 0 = the graph's registered default. The kEmbed output
   /// dimensionality is `netmf.dim`, not k.
   int k = 0;
+  /// Warm-start the solve from the engine's SolveCache entry for
+  /// (graph_id, mode, algorithm, k) when one exists: the weight search
+  /// resumes at the cached optimal weights and every objective eigensolve
+  /// seeds its Lanczos basis from the cached Ritz vectors. After a small
+  /// graph delta this cuts Lanczos iterations substantially and converges
+  /// to the same eigenpairs within the solver tolerance — but warm solves
+  /// are NOT bit-identical to cold ones (the default, which keeps today's
+  /// exact trajectory). Silently cold when the cache has no usable entry.
+  bool warm_start = false;
   /// `options.base` configures kSgla; the full struct configures kSglaPlus.
   core::SglaPlusOptions options;
   cluster::KMeansOptions kmeans;  ///< kCluster backend
   embed::NetMfOptions netmf;      ///< kEmbed backend
+};
+
+/// Per-response solve instrumentation.
+struct SolveStats {
+  int64_t graph_epoch = 0;    ///< entry epoch the solve ran against
+  /// A usable SolveCache entry seeded this solve (requested + found + node
+  /// count matched). SGLA+ node-sampled evaluations still run cold — the
+  /// seed cannot apply to subgraph-sized solves.
+  bool warm_started = false;
+  int64_t lanczos_iterations = 0;  ///< basis vectors built across the solve
 };
 
 struct SolveResponse {
@@ -49,6 +69,7 @@ struct SolveResponse {
   core::IntegrationResult integration;
   std::vector<int32_t> labels;   ///< kCluster
   la::DenseMatrix embedding;     ///< kEmbed
+  SolveStats stats;
 };
 
 struct EngineOptions {
@@ -56,6 +77,12 @@ struct EngineOptions {
   /// workspace; kernel-level parallelism inside a solve still comes from the
   /// shared deterministic ThreadPool.
   int num_sessions = 2;
+  /// Bank every successful solve's weights + Ritz vectors for warm starts
+  /// (default). The bank holds one n x (k+1) matrix per
+  /// (graph_id, mode, algorithm, k) key until eviction — deployments that
+  /// never send warm_start requests set false to skip the per-solve copy
+  /// and the resident memory.
+  bool warm_cache = true;
 };
 
 /// Stateful serving engine over a GraphRegistry: callers submit
@@ -84,6 +111,18 @@ class Engine {
   Result<std::shared_ptr<const GraphEntry>> RegisterGraph(
       const std::string& id, const core::MultiViewGraph& mvag,
       const RegisterOptions& options = {});
+
+  /// Applies a delta through the registry's copy-on-write epoch scheme (see
+  /// GraphRegistry::UpdateGraph): in-flight solves finish on their snapshot,
+  /// requests submitted afterwards see the new epoch. The warm-start cache
+  /// is deliberately NOT invalidated — the updated graph's spectrum is close
+  /// to its predecessor's, which is exactly what `warm_start` requests
+  /// exploit.
+  Result<std::shared_ptr<const GraphEntry>> UpdateGraph(
+      const std::string& id, const GraphDelta& delta);
+
+  /// Evicts the graph and drops its warm-start cache entries.
+  bool EvictGraph(const std::string& id);
 
   /// Enqueues a solve; the future resolves when a session worker finishes
   /// it. The graph snapshot is taken here, at submit time: a graph evicted
@@ -120,6 +159,14 @@ class Engine {
                             const GraphEntry& entry, SessionWorkspace* ws);
 
   GraphRegistry* registry_;
+  /// Warm-start bank: last solve's weights + Ritz vectors per
+  /// (graph_id, mode, algorithm, k); read when a request sets warm_start,
+  /// written (when options.warm_cache) after every successful integration
+  /// whose final eigensolve ran full-size. Entries are lineage-stamped, so
+  /// they survive graph updates but can never seed a re-registered id.
+  /// Dropped on EvictGraph.
+  SolveCache cache_;
+  bool warm_cache_ = true;
   std::vector<SessionWorkspace> workspaces_;
   std::atomic<int64_t> completed_{0};
   util::TaskQueue queue_;  ///< declared last: destroyed (drained) first

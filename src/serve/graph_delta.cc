@@ -1,0 +1,121 @@
+#include "serve/graph_delta.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace sgla {
+namespace serve {
+namespace {
+
+/// Orientation-free edge key: (u, v) and (v, u) address the same edge.
+std::pair<int64_t, int64_t> EdgeKey(int64_t u, int64_t v) {
+  return u <= v ? std::make_pair(u, v) : std::make_pair(v, u);
+}
+
+}  // namespace
+
+Status ApplyDelta(core::MultiViewGraph* mvag, const GraphDelta& delta,
+                  std::vector<bool>* affected_views) {
+  const int num_graphs = static_cast<int>(mvag->graph_views().size());
+  const int num_attributes = static_cast<int>(mvag->attribute_views().size());
+  const int64_t n = mvag->num_nodes();
+
+  // Validate everything first so a rejected delta leaves the source graph
+  // untouched (UpdateGraph re-applies on retry; a half-applied delta would
+  // silently skew every later epoch).
+  for (const GraphViewDelta& d : delta.graph_views) {
+    if (d.view < 0 || d.view >= num_graphs) {
+      return InvalidArgument("graph-view delta: view index out of range");
+    }
+    for (const EdgeUpsert& e : d.upserts) {
+      if (e.u < 0 || e.u >= n || e.v < 0 || e.v >= n) {
+        return InvalidArgument("graph-view delta: edge endpoint out of range");
+      }
+    }
+    for (const EdgeRemoval& e : d.removals) {
+      if (e.u < 0 || e.u >= n || e.v < 0 || e.v >= n) {
+        return InvalidArgument("graph-view delta: removal endpoint out of range");
+      }
+    }
+  }
+  for (const AttributeRowUpdate& d : delta.attribute_rows) {
+    if (d.view < 0 || d.view >= num_attributes) {
+      return InvalidArgument("attribute delta: view index out of range");
+    }
+    if (d.row < 0 || d.row >= n) {
+      return InvalidArgument("attribute delta: row out of range");
+    }
+    const la::DenseMatrix& x =
+        mvag->attribute_views()[static_cast<size_t>(d.view)];
+    if (static_cast<int64_t>(d.values.size()) != x.cols()) {
+      return InvalidArgument("attribute delta: row width mismatch");
+    }
+  }
+
+  affected_views->assign(static_cast<size_t>(mvag->num_views()), false);
+  for (const GraphViewDelta& d : delta.graph_views) {
+    if (d.upserts.empty() && d.removals.empty()) continue;
+    std::vector<graph::Edge>& edges =
+        *mvag->mutable_graph_view(d.view)->mutable_edges();
+
+    // One compaction pass over the edge list, O(edits log edits + edges):
+    // removals drop every parallel copy of their edge; an upsert rewrites
+    // the first surviving copy in place (keeping the edge list order stable
+    // for a pure weight change), drops further duplicates, and appends as a
+    // new edge only if no copy survived. Removals apply before upserts, so
+    // remove-then-upsert re-inserts; among upserts of one edge the last
+    // weight wins.
+    struct PendingUpsert {
+      double weight = 0.0;  ///< last upsert of this edge wins
+      bool placed = false;  ///< an edge-list slot already carries it
+    };
+    std::map<std::pair<int64_t, int64_t>, PendingUpsert> upserts;
+    for (const EdgeUpsert& u : d.upserts) {
+      upserts[EdgeKey(u.u, u.v)] = {u.weight, false};
+    }
+    std::set<std::pair<int64_t, int64_t>> removed;
+    for (const EdgeRemoval& r : d.removals) {
+      removed.insert(EdgeKey(r.u, r.v));
+    }
+    size_t w = 0;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      const std::pair<int64_t, int64_t> key =
+          EdgeKey(edges[i].u, edges[i].v);
+      // Removed-then-upserted edges are re-inserted fresh (appended below),
+      // matching the sequential removals-then-upserts semantics.
+      if (removed.count(key) != 0) continue;
+      auto upsert = upserts.find(key);
+      if (upsert == upserts.end()) {
+        if (w != i) edges[w] = edges[i];
+        ++w;
+        continue;
+      }
+      if (upsert->second.placed) continue;  // parallel duplicate: drop
+      if (w != i) edges[w] = edges[i];
+      edges[w].weight = upsert->second.weight;
+      upsert->second.placed = true;
+      ++w;
+    }
+    edges.resize(w);
+    // Append upserts that found no surviving copy, in first-occurrence
+    // order (deterministic regardless of duplicate upserts).
+    for (const EdgeUpsert& u : d.upserts) {
+      auto it = upserts.find(EdgeKey(u.u, u.v));
+      if (it->second.placed) continue;
+      edges.push_back({u.u, u.v, it->second.weight});
+      it->second.placed = true;
+    }
+    (*affected_views)[static_cast<size_t>(d.view)] = true;
+  }
+  for (const AttributeRowUpdate& d : delta.attribute_rows) {
+    la::DenseMatrix& x = *mvag->mutable_attribute_view(d.view);
+    std::copy(d.values.begin(), d.values.end(), x.Row(d.row));
+    (*affected_views)[static_cast<size_t>(num_graphs + d.view)] = true;
+  }
+  return OkStatus();
+}
+
+}  // namespace serve
+}  // namespace sgla

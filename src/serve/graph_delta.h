@@ -1,0 +1,70 @@
+#ifndef SGLA_SERVE_GRAPH_DELTA_H_
+#define SGLA_SERVE_GRAPH_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mvag.h"
+#include "la/dense.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace serve {
+
+/// Add-or-replace one undirected edge: an existing (u, v) edge (either
+/// orientation, parallel duplicates included) is replaced by a single edge
+/// with the new weight; a missing one is inserted. Weight changes keep the
+/// view's sparsity pattern (as long as degrees stay positive), so a delta of
+/// pure upserts on existing edges takes the value-only fast path.
+struct EdgeUpsert {
+  int64_t u = 0;
+  int64_t v = 0;
+  double weight = 1.0;
+};
+
+/// Remove every (u, v) edge, both orientations. Removals (and upserts that
+/// insert) change the view's sparsity pattern and trigger a pattern rebuild
+/// of the affected shards.
+struct EdgeRemoval {
+  int64_t u = 0;
+  int64_t v = 0;
+};
+
+/// Edits to one graph view (index among the MVAG's graph views).
+struct GraphViewDelta {
+  int view = 0;
+  std::vector<EdgeUpsert> upserts;
+  std::vector<EdgeRemoval> removals;
+};
+
+/// Replaces one attribute row (index among the MVAG's attribute views). The
+/// view's KNN graph — and therefore its Laplacian — is recomputed, which
+/// generally changes the view pattern.
+struct AttributeRowUpdate {
+  int view = 0;
+  int64_t row = 0;
+  la::Vector values;  ///< the new attribute row, size = view columns
+};
+
+/// A batch of edits to one registered multi-view graph. Applied atomically
+/// by GraphRegistry::UpdateGraph: in-flight solves keep the pre-delta
+/// snapshot, the next solve sees all of it.
+struct GraphDelta {
+  std::vector<GraphViewDelta> graph_views;
+  std::vector<AttributeRowUpdate> attribute_rows;
+
+  bool empty() const { return graph_views.empty() && attribute_rows.empty(); }
+};
+
+/// Validates `delta` against `mvag` (view indices, endpoints, row bounds,
+/// attribute widths) and only then applies every edit in place — a failed
+/// validation mutates nothing. On success `affected_views` (sized
+/// mvag.num_views(), global view order: graph views first) marks the views
+/// whose Laplacians must be recomputed.
+Status ApplyDelta(core::MultiViewGraph* mvag, const GraphDelta& delta,
+                  std::vector<bool>* affected_views);
+
+}  // namespace serve
+}  // namespace sgla
+
+#endif  // SGLA_SERVE_GRAPH_DELTA_H_

@@ -1,11 +1,20 @@
 #include "serve/graph_registry.h"
 
+#include <atomic>
 #include <utility>
 
 #include "util/thread_pool.h"
 
 namespace sgla {
 namespace serve {
+namespace {
+
+uint64_t NextLineage() {
+  static std::atomic<uint64_t> counter{0};
+  return ++counter;
+}
+
+}  // namespace
 
 std::shared_ptr<util::TaskQueue> GraphRegistry::ShardQueue() {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -18,7 +27,8 @@ std::shared_ptr<util::TaskQueue> GraphRegistry::ShardQueue() {
 }
 
 Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Publish(
-    std::shared_ptr<GraphEntry> entry, const RegisterOptions& options) {
+    std::shared_ptr<GraphEntry> entry, const RegisterOptions& options,
+    std::shared_ptr<GraphSource> source) {
   entry->aggregator.reset(new core::LaplacianAggregator(&entry->views));
   if (options.shards > 1 && entry->num_nodes > 0) {
     ShardPlan plan = MakeShardPlan(entry->num_nodes, options.shards);
@@ -39,6 +49,9 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Publish(
     return FailedPrecondition("graph '" + published->id +
                               "' is already registered (evict it first)");
   }
+  // The update source rides along only when registration itself succeeded
+  // (and only for the MultiViewGraph overloads, which pass one).
+  if (source != nullptr) sources_[published->id] = std::move(source);
   return published;
 }
 
@@ -52,10 +65,20 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Register(
   if (!views.ok()) return views.status();
   auto entry = std::make_shared<GraphEntry>();
   entry->id = id;
+  entry->lineage = NextLineage();
   entry->num_nodes = mvag.num_nodes();
   entry->num_clusters = mvag.num_clusters();
   entry->views = std::move(*views);
-  return Publish(std::move(entry), options);
+  // The working copy UpdateGraph deltas accumulate into. Roughly doubles
+  // the registration-time graph footprint, in exchange for updates that
+  // touch only what a delta changed; options.updatable = false declines.
+  std::shared_ptr<GraphSource> source;
+  if (options.updatable) {
+    source = std::make_shared<GraphSource>();
+    source->mvag = mvag;
+    source->knn = options.knn;
+  }
+  return Publish(std::move(entry), options, std::move(source));
 }
 
 Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Register(
@@ -74,14 +97,119 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::RegisterViews(
   }
   auto entry = std::make_shared<GraphEntry>();
   entry->id = id;
+  entry->lineage = NextLineage();
   entry->num_nodes = views[0].rows;
   entry->num_clusters = num_clusters;
   entry->views = std::move(views);
-  return Publish(std::move(entry), options);
+  return Publish(std::move(entry), options, nullptr);
+}
+
+Result<std::shared_ptr<const GraphEntry>> GraphRegistry::UpdateGraph(
+    const std::string& id, const GraphDelta& delta) {
+  std::shared_ptr<GraphSource> source;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = graphs_.find(id);
+    if (it == graphs_.end()) {
+      return NotFound("graph '" + id + "' is not registered");
+    }
+    auto sit = sources_.find(id);
+    if (sit == sources_.end()) {
+      return FailedPrecondition(
+          "graph '" + id +
+          "' carries no update source (RegisterViews entry or "
+          "updatable=false); evict and re-register to change it");
+    }
+    source = sit->second;
+  }
+
+  // Updates serialize per id; the registry map lock is never held across
+  // the delta application or the rebuild below.
+  std::lock_guard<std::mutex> update_lock(source->mutex);
+
+  // Re-fetch the entry now that we own the update lock: a concurrent update
+  // may have published a newer epoch while we waited, and deltas always
+  // apply on the latest. A concurrent evict (or evict + re-register, which
+  // installs a fresh source) fails the update instead of resurrecting the
+  // id with stale state.
+  std::shared_ptr<const GraphEntry> old;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = graphs_.find(id);
+    auto sit = sources_.find(id);
+    if (it == graphs_.end() || sit == sources_.end() ||
+        sit->second != source) {
+      return NotFound("graph '" + id +
+                      "' was evicted or replaced during the update");
+    }
+    old = it->second;
+  }
+  if (delta.empty()) return old;
+
+  // Validate-then-apply: a rejected delta leaves the source untouched.
+  std::vector<bool> affected;
+  Status applied = ApplyDelta(&source->mvag, delta, &affected);
+  if (!applied.ok()) return applied;
+
+  // Copy-on-write next epoch: unaffected views are carried over bitwise
+  // (cheap copies, and the precondition for pattern reuse), affected views
+  // recompute — attribute rows re-run that one view's KNN, nothing else.
+  auto entry = std::make_shared<GraphEntry>();
+  entry->id = id;
+  entry->lineage = old->lineage;  // same registration, next epoch
+  entry->epoch = old->epoch + 1;
+  entry->num_nodes = old->num_nodes;
+  entry->num_clusters = old->num_clusters;
+  entry->views = old->views;
+  bool value_only = true;
+  for (size_t v = 0; v < affected.size(); ++v) {
+    if (!affected[v]) continue;
+    auto laplacian =
+        core::ComputeViewLaplacian(source->mvag, static_cast<int>(v),
+                                   source->knn);
+    // Unreachable after validation; if it ever fires the source may lead the
+    // published epoch — evict and re-register to resynchronize.
+    if (!laplacian.ok()) return laplacian.status();
+    value_only = value_only &&
+                 laplacian->row_ptr == old->views[v].row_ptr &&
+                 laplacian->col_idx == old->views[v].col_idx;
+    entry->views[v] = std::move(*laplacian);
+  }
+
+  // Value-only deltas donor-copy the union pattern + scatter maps under the
+  // *same* pattern_id, so session workspaces bound to the previous epoch
+  // re-scatter values without any rebinding. Pattern-changing deltas re-run
+  // the full union merge for the unsharded aggregator, but the sharded one
+  // re-merges only the shards whose slices changed.
+  entry->aggregator.reset(
+      value_only ? new core::LaplacianAggregator(&entry->views,
+                                                 *old->aggregator)
+                 : new core::LaplacianAggregator(&entry->views));
+  if (old->sharded != nullptr) {
+    ShardPlan plan = old->sharded->plan;
+    entry->sharded.reset(new ShardedGraphEntry{
+        std::move(plan),
+        core::ShardedAggregator(&entry->views, old->sharded->aggregator,
+                                affected)});
+  }
+
+  // Publish iff the entry we built on is still current (compare-and-swap on
+  // the snapshot): losing the race to Evict — with or without a re-register
+  // — must not resurrect the graph.
+  std::shared_ptr<const GraphEntry> published = std::move(entry);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = graphs_.find(id);
+  if (it == graphs_.end() || it->second != old) {
+    return NotFound("graph '" + id +
+                    "' was evicted or replaced during the update");
+  }
+  it->second = published;
+  return published;
 }
 
 bool GraphRegistry::Evict(const std::string& id) {
   std::lock_guard<std::mutex> lock(mutex_);
+  sources_.erase(id);
   return graphs_.erase(id) > 0;
 }
 

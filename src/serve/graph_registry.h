@@ -13,6 +13,7 @@
 #include "core/view_laplacian.h"
 #include "graph/knn.h"
 #include "la/sparse.h"
+#include "serve/graph_delta.h"
 #include "serve/shard_plan.h"
 #include "util/status.h"
 #include "util/task_queue.h"
@@ -30,6 +31,11 @@ struct RegisterOptions {
   /// solve monopolizes the kernel pool. Clamped to the chunk count, so small
   /// graphs quietly stay unsharded.
   int shards = 1;
+  /// Keep a working copy of the MultiViewGraph so UpdateGraph can apply
+  /// deltas (default). Costs roughly the registration-time graph footprint
+  /// again; read-only deployments set false to decline, and UpdateGraph
+  /// then fails with FailedPrecondition like a RegisterViews entry.
+  bool updatable = true;
 };
 
 /// Row-sharded serving state of a registered graph: the deterministic shard
@@ -49,6 +55,17 @@ struct ShardedGraphEntry {
 /// any number of concurrent solves may share one entry.
 struct GraphEntry {
   std::string id;
+  /// Process-unique registration identity, assigned by Register and carried
+  /// unchanged through every UpdateGraph epoch. Distinguishes "same graph,
+  /// later epoch" (lineage equal) from "same id re-registered after evict"
+  /// (lineage differs) — the warm-start cache keys its validity on this, so
+  /// a solve that finishes after its graph was evicted and replaced can
+  /// never seed solves of the replacement.
+  uint64_t lineage = 0;
+  /// Generation number: 0 at registration, +1 per applied UpdateGraph delta.
+  /// Entries are immutable — an update publishes a *new* entry under the
+  /// same id; solves that hold the old epoch's snapshot finish on it.
+  int64_t epoch = 0;
   int64_t num_nodes = 0;
   int num_clusters = 0;  ///< default k for requests that don't set one
   std::vector<la::CsrMatrix> views;
@@ -85,6 +102,26 @@ class GraphRegistry {
       const std::string& id, std::vector<la::CsrMatrix> views,
       int num_clusters, const RegisterOptions& options = {});
 
+  /// Applies a delta to a graph registered through one of the
+  /// MultiViewGraph overloads (RegisterViews entries carry no source graph
+  /// and fail with FailedPrecondition) and publishes the next epoch behind
+  /// the same copy-on-write snapshot scheme: in-flight solves keep their
+  /// epoch, the next Find() sees the new one. Per id, updates serialize on
+  /// an internal mutex; an update that loses a race against Evict (or
+  /// evict + re-register) fails with NotFound / FailedPrecondition without
+  /// publishing anything.
+  ///
+  /// Cost scales with what the delta touched: only affected views'
+  /// Laplacians are recomputed (attribute rows re-run that view's KNN), and
+  /// when no view changes sparsity the new epoch's aggregators donor-copy
+  /// the previous pattern/scatter state — same pattern_id, so bound solve
+  /// workspaces skip rebinding entirely. Pattern-changing deltas re-merge
+  /// only the shards whose slices changed (the unsharded union pattern, used
+  /// by unsharded solves, is rebuilt whole). An empty delta returns the
+  /// current entry without bumping the epoch.
+  Result<std::shared_ptr<const GraphEntry>> UpdateGraph(
+      const std::string& id, const GraphDelta& delta);
+
   /// Unlinks the entry; returns false if the id was not registered. The id
   /// becomes immediately re-registrable.
   bool Evict(const std::string& id);
@@ -97,8 +134,19 @@ class GraphRegistry {
   size_t size() const;
 
  private:
+  /// Mutable per-id update state, kept only for graphs registered with a
+  /// MultiViewGraph source. `mvag` is the registry's own working copy the
+  /// deltas accumulate into; `mutex` serializes UpdateGraph calls per id
+  /// (the registry map lock is never held across the expensive rebuild).
+  struct GraphSource {
+    core::MultiViewGraph mvag;
+    graph::KnnOptions knn;
+    std::mutex mutex;
+  };
+
   Result<std::shared_ptr<const GraphEntry>> Publish(
-      std::shared_ptr<GraphEntry> entry, const RegisterOptions& options);
+      std::shared_ptr<GraphEntry> entry, const RegisterOptions& options,
+      std::shared_ptr<GraphSource> source);
 
   /// The queue shard jobs run on, created lazily at the first sharded
   /// registration and shared by every sharded entry (entries hold the
@@ -107,6 +155,10 @@ class GraphRegistry {
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_ptr<const GraphEntry>> graphs_;
+  /// Update sources, same keys as graphs_ (absent for RegisterViews
+  /// entries); under mutex_. Values are shared so UpdateGraph can work on a
+  /// source after dropping the map lock.
+  std::unordered_map<std::string, std::shared_ptr<GraphSource>> sources_;
   std::shared_ptr<util::TaskQueue> shard_queue_;  ///< under mutex_
 };
 

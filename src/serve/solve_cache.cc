@@ -1,0 +1,35 @@
+#include "serve/solve_cache.h"
+
+#include <utility>
+
+namespace sgla {
+namespace serve {
+
+std::shared_ptr<const SolveCache::Entry> SolveCache::Lookup(
+    const Key& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+void SolveCache::Store(const Key& key, Entry entry) {
+  auto published = std::make_shared<const Entry>(std::move(entry));
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[key] = std::move(published);
+}
+
+void SolveCache::Invalidate(const std::string& graph_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.lower_bound(Key{graph_id, 0, 0, 0});
+  while (it != entries_.end() && it->first.graph_id == graph_id) {
+    it = entries_.erase(it);
+  }
+}
+
+size_t SolveCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace serve
+}  // namespace sgla

@@ -1,0 +1,79 @@
+#ifndef SGLA_SERVE_SOLVE_CACHE_H_
+#define SGLA_SERVE_SOLVE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "la/dense.h"
+
+namespace sgla {
+namespace serve {
+
+/// Per-graph warm-start bank: the last completed solve's optimal weights and
+/// final Ritz vectors, keyed by (graph_id, mode, algorithm, k). Entries are
+/// immutable behind shared_ptr — Store publishes a new generation, Lookup
+/// hands out the current one (a warm solve in flight keeps its snapshot
+/// alive across concurrent stores, same idiom as the graph registry) — so an
+/// updated graph's re-solve can seed its eigensolves from the pre-update
+/// spectrum without copying the bank. Entries survive graph updates by
+/// design (that is the point: the updated spectrum is close to its
+/// predecessor's); eviction drops them.
+class SolveCache {
+ public:
+  /// The mode/algorithm ints mirror serve::SolveMode / serve::Algorithm;
+  /// the cache is enum-agnostic so it needs no engine headers.
+  struct Key {
+    std::string graph_id;
+    int mode = 0;
+    int algorithm = 0;
+    int k = 0;
+
+    bool operator<(const Key& other) const {
+      return std::tie(graph_id, mode, algorithm, k) <
+             std::tie(other.graph_id, other.mode, other.algorithm, other.k);
+    }
+  };
+
+  struct Entry {
+    /// Registration lineage of the entry the solve ran against: a warm
+    /// lookup is honored only when it matches the current entry's lineage,
+    /// so a solve that finishes after its graph was evicted (and the id
+    /// re-registered with a different graph) can never seed the
+    /// replacement — even at the same node count.
+    uint64_t lineage = 0;
+    int64_t epoch = 0;      ///< graph epoch the solve ran against
+    int64_t num_nodes = 0;  ///< seed validity guard (must match the graph)
+    la::Vector weights;     ///< w* of the cached solve
+    /// The n x (k+1) Ritz vectors of the solve's last objective evaluation
+    /// — a probe point near w*, not necessarily w* itself (the final
+    /// aggregation runs no eigensolve). Close enough to seed refinement
+    /// passes; the warm solver only needs "near the updated spectrum".
+    la::DenseMatrix ritz_vectors;
+  };
+
+  /// The current entry for `key`, or null. The returned snapshot stays valid
+  /// for as long as it is held, across any concurrent Store/Invalidate.
+  std::shared_ptr<const Entry> Lookup(const Key& key) const;
+
+  /// Publishes `entry` as the new generation for `key`.
+  void Store(const Key& key, Entry entry);
+
+  /// Drops every entry of `graph_id` (all modes/algorithms/k) — eviction
+  /// invalidates the bank; re-registration starts cold.
+  void Invalidate(const std::string& graph_id);
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<Key, std::shared_ptr<const Entry>> entries_;
+};
+
+}  // namespace serve
+}  // namespace sgla
+
+#endif  // SGLA_SERVE_SOLVE_CACHE_H_

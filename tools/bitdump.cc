@@ -1,0 +1,155 @@
+// Determinism bit-dump: runs the objective / Sgla / SglaPlus / clustering
+// pipeline on a fixed synthetic MVAG and prints an FNV-1a hash (plus a few
+// raw hex-encoded doubles) of every result array. The CI determinism job
+// runs this binary at SGLA_THREADS={1,4} x shards={1,4} per compiler and
+// fails on ANY output difference — threads and shards must never change
+// bits. Cross-compiler dumps are archived as artifacts for inspection
+// (different FP codegen may legitimately differ across compilers).
+//
+// Usage: sgla_bitdump [shards]   (thread count comes from SGLA_THREADS)
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cluster/spectral_clustering.h"
+#include "core/integration.h"
+#include "core/objective.h"
+#include "core/view_laplacian.h"
+#include "data/generator.h"
+#include "serve/engine.h"
+#include "serve/graph_registry.h"
+#include "util/rng.h"
+
+namespace sgla {
+namespace {
+
+uint64_t Fnv1a(const void* data, size_t bytes, uint64_t hash = 1469598103934665603ull) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+template <typename T>
+uint64_t HashVector(const std::vector<T>& v) {
+  return Fnv1a(v.data(), v.size() * sizeof(T));
+}
+
+uint64_t HashCsr(const la::CsrMatrix& m) {
+  uint64_t hash = Fnv1a(m.row_ptr.data(), m.row_ptr.size() * sizeof(int64_t));
+  hash = Fnv1a(m.col_idx.data(), m.col_idx.size() * sizeof(int64_t), hash);
+  return Fnv1a(m.values.data(), m.values.size() * sizeof(double), hash);
+}
+
+uint64_t DoubleBits(double x) {
+  uint64_t bits;
+  std::memcpy(&bits, &x, sizeof(bits));
+  return bits;
+}
+
+int Run(int shards) {
+  // Fixed fixture: big enough that a 4-shard plan is real (>= 4 fixed
+  // 512-row chunks) and ragged (n % 512 != 0) so boundary arithmetic is
+  // exercised, small enough to finish in CI seconds.
+  const int64_t n = 2570;
+  const int k = 3;
+  Rng rng(20250715);
+  std::vector<int32_t> labels = data::BalancedLabels(n, k, &rng);
+  core::MultiViewGraph mvag(n, k);
+  mvag.AddGraphView(data::SbmGraph(labels, k, 0.03, 0.003, &rng));
+  mvag.AddGraphView(data::SbmGraph(labels, k, 0.015, 0.006, &rng));
+  mvag.set_labels(std::move(labels));
+
+  serve::GraphRegistry registry;
+  serve::RegisterOptions options;
+  options.shards = shards;
+  auto entry = registry.Register("bitdump", mvag, options);
+  if (!entry.ok()) {
+    std::fprintf(stderr, "register failed: %s\n",
+                 entry.status().ToString().c_str());
+    return 1;
+  }
+  // Config goes to stderr: stdout must be byte-identical across every
+  // (SGLA_THREADS, shards) combination, so the CI job can plain `diff` it.
+  std::fprintf(stderr, "fixture n=%" PRId64 " k=%d views=%zu shards=%d\n", n,
+               k, (*entry)->views.size(), shards);
+  for (size_t v = 0; v < (*entry)->views.size(); ++v) {
+    std::printf("view[%zu] hash=%016" PRIx64 "\n", v,
+                HashCsr((*entry)->views[v]));
+  }
+
+  // Objective evaluations at fixed weights, through the registered entry's
+  // (possibly sharded) serving path.
+  {
+    core::EvalWorkspace eval_ws;
+    core::ShardedEvalWorkspace sharded_ws;
+    const bool sharded = (*entry)->sharded != nullptr;
+    core::SpectralObjective objective =
+        sharded ? core::SpectralObjective(&(*entry)->sharded->aggregator, k,
+                                          core::ObjectiveOptions(),
+                                          &sharded_ws)
+                : core::SpectralObjective((*entry)->aggregator.get(), k,
+                                          core::ObjectiveOptions(), &eval_ws);
+    const std::vector<std::vector<double>> probes = {
+        {0.5, 0.5}, {0.8, 0.2}, {0.35, 0.65}};
+    for (const std::vector<double>& w : probes) {
+      auto value = objective.Evaluate(w);
+      if (!value.ok()) {
+        std::fprintf(stderr, "objective failed\n");
+        return 1;
+      }
+      std::printf("objective w0=%.2f h=%016" PRIx64 " gap=%016" PRIx64
+                  " l2=%016" PRIx64 "\n",
+                  w[0], DoubleBits(value->h), DoubleBits(value->eigengap),
+                  DoubleBits(value->lambda2));
+    }
+  }
+
+  // Full Sgla / SglaPlus cluster solves through the engine.
+  serve::Engine engine(&registry);
+  for (serve::Algorithm algorithm :
+       {serve::Algorithm::kSgla, serve::Algorithm::kSglaPlus}) {
+    serve::SolveRequest request;
+    request.graph_id = "bitdump";
+    request.algorithm = algorithm;
+    request.options.base.max_evaluations = 24;
+    auto response = engine.Solve(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "solve failed: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    const char* name =
+        algorithm == serve::Algorithm::kSgla ? "sgla" : "sgla+";
+    std::printf("%s weights=%016" PRIx64 " history=%016" PRIx64
+                " laplacian=%016" PRIx64 " labels=%016" PRIx64 "\n",
+                name, HashVector(response->integration.weights),
+                HashVector(response->integration.objective_history),
+                HashCsr(response->integration.laplacian),
+                HashVector(response->labels));
+    for (size_t i = 0; i < response->integration.weights.size(); ++i) {
+      std::printf("%s w[%zu]=%016" PRIx64 "\n", name, i,
+                  DoubleBits(response->integration.weights[i]));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sgla
+
+int main(int argc, char** argv) {
+  int shards = 1;
+  if (argc > 1) shards = std::atoi(argv[1]);
+  if (shards < 1) {
+    std::fprintf(stderr, "usage: sgla_bitdump [shards>=1]\n");
+    return 2;
+  }
+  return sgla::Run(shards);
+}
