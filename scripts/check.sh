@@ -15,9 +15,15 @@ Flags (combinable, e.g. `--asan --bench-smoke`):
   --bench-smoke  skip ctest; run the Engine microbenches at a tiny time
                  budget and write BENCH_engine.json (per-kernel ns +
                  allocs_per_iter; the steady-state benches must report 0)
+  --rpc-load     skip ctest; run the closed-loop RPC load generator at a
+                 small fixed budget and write BENCH_rpc.json (p50/p95/p99
+                 latency; gated by scripts/perf_gate.py --latency)
   --help, -h     this message
 
---asan, --tsan and --ubsan are mutually exclusive.
+--asan, --tsan and --ubsan are mutually exclusive. Sanitizer builds cannot
+be combined with --bench-smoke or --rpc-load: sanitizer timings are 10-50x
+off, and a sanitizer-built BENCH_*.json silently committed as a baseline
+would mask every real regression behind an enormous headroom.
 
 Anything else is passed through to ctest (e.g. -R sharding_test).
 Environment:
@@ -29,6 +35,7 @@ cd "$(dirname "$0")/.."
 
 sanitizer=""
 bench_smoke=0
+rpc_load=0
 ctest_args=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -43,11 +50,20 @@ while [[ $# -gt 0 ]]; do
       sanitizer="${flag_sanitizer}"
       ;;
     --bench-smoke) bench_smoke=1 ;;
+    --rpc-load) rpc_load=1 ;;
     --help|-h) usage; exit 0 ;;
     *) ctest_args+=("$1") ;;
   esac
   shift
 done
+
+if [[ -n "${sanitizer}" && ( "${bench_smoke}" == "1" || "${rpc_load}" == "1" ) ]]; then
+  # Refuse instead of warn: a sanitizer-built BENCH_*.json committed as a
+  # baseline poisons the perf gate (sanitizer timings are 10-50x off).
+  echo "check.sh: --bench-smoke/--rpc-load cannot run in a sanitizer build;" \
+       "benchmark and latency baselines must come from plain builds" >&2
+  exit 2
+fi
 
 build_dir="${SGLA_CHECK_BUILD_DIR:-build}"
 cmake_args=()
@@ -86,6 +102,17 @@ if [[ "${bench_smoke}" == "1" ]]; then
     echo "check.sh: bench_micro_substrates not built (google-benchmark" \
          "missing); skipping bench smoke"
   fi
+  exit 0
+fi
+
+if [[ "${rpc_load}" == "1" ]]; then
+  # Tail-latency smoke: drive the RPC server closed-loop at a small fixed
+  # budget and archive the p50/p95/p99 report. The budget is deliberately
+  # tiny — the gate (perf_gate.py --latency) watches for multiples, not
+  # percents, so a short run is enough signal.
+  "${build_dir}/sgla_loadgen" --clients 6 --requests 25 --nodes 400 \
+    --out BENCH_rpc.json
+  echo "check.sh: wrote BENCH_rpc.json"
   exit 0
 fi
 

@@ -1,17 +1,19 @@
 #!/usr/bin/env python3
-"""Perf regression gate over google-benchmark JSON.
+"""Perf regression gate over google-benchmark JSON and loadgen latency JSON.
 
-Usage: perf_gate.py BASELINE.json CURRENT.json
+Usage:
+  perf_gate.py BASELINE.json CURRENT.json             # microbench mode
+  perf_gate.py --latency BASELINE.json CURRENT.json   # RPC tail-latency mode
 
-Two checks:
+Microbench mode — three checks:
 
 1. **Zero-allocation contract (hard fail).** The steady-state engine benches
    (`BM_EngineObjectiveSteadyState`, `BM_EngineAggregateSteadyState`) must
    report `allocs_per_iter == 0` in CURRENT. Full-solve and update benches
    legitimately allocate and are recorded, not gated.
 
-2. **Timing ratio gate.** For every *compute-bound* bench present in both
-   files (TIMING_GATED prefixes — the async full-solve benches report
+2. **Normalized timing ratio gate.** For every *compute-bound* bench present
+   in both files (TIMING_GATED prefixes — the async full-solve benches report
    microsecond main-thread submit/wait cpu_time while the work runs on pool
    threads, which is pure scheduler noise; they are printed informationally,
    never gated), compute ratio = current_cpu_ns / baseline_cpu_ns, then
@@ -21,11 +23,34 @@ Two checks:
    the suite*, not slow hardware. Normalized ratio > FAIL_RATIO (1.5)
    fails, > WARN_RATIO (1.2) warns.
 
-Re-baselining: run `scripts/check.sh --bench-smoke` (or download the
-BENCH_engine artifact from a trusted CI run) and commit the JSON as
-BENCH_baseline.json. Do this whenever benches are added/renamed or an
-intentional perf trade-off moves steady-state numbers (see DESIGN.md,
-"Perf regression gate").
+3. **Absolute raw-ratio ceiling.** Median normalization is blind to a
+   *uniform* regression: if every gated bench slows down 10x together, every
+   normalized ratio is still 1.0. Any gated bench with a raw ratio above
+   RAW_FAIL_RATIO (3.0) therefore fails outright. The ceiling is deliberately
+   loose — CI runners legitimately differ from the baseline machine by
+   2x-ish — so it only trips on regressions far past machine variance; the
+   normalized gate remains the sensitive check. Benches reporting
+   cpu_time == 0 (timer granularity underflow at tiny budgets) are skipped
+   with a warning instead of silently dropped.
+
+Latency mode (--latency) — gates tools/loadgen.cc reports:
+
+- `errors` must be 0 (typed RESOURCE_EXHAUSTED rejections are *not* errors).
+- p99 ratio current/baseline > P99_FAIL_RATIO (4.0) fails, > P99_WARN_RATIO
+  (2.0) warns. Tail latency on shared runners is far noisier than cpu_time,
+  hence the wide thresholds; the gate exists to catch serving-path
+  regressions measured in multiples, not percents.
+- Reports whose `sanitizer` tag is not "none" are rejected on either side:
+  sanitizer builds are 10-50x slower and a sanitizer-tagged baseline would
+  mask any real regression (the same reason check.sh refuses
+  `--asan --bench-smoke`).
+
+Re-baselining: run `scripts/check.sh --bench-smoke` (microbench) or
+`scripts/check.sh --rpc-load` (latency) — both refuse sanitizer builds —
+or download the BENCH artifact from a trusted CI run, and commit the JSON
+as BENCH_baseline.json / BENCH_rpc_baseline.json. Do this whenever benches
+are added/renamed or an intentional perf trade-off moves the numbers (see
+DESIGN.md, "Perf regression gate").
 """
 
 import json
@@ -34,6 +59,12 @@ import sys
 
 FAIL_RATIO = 1.5
 WARN_RATIO = 1.2
+# Absolute ceiling on raw (un-normalized) ratios: catches uniform
+# regressions the median normalization cancels out. Loose on purpose —
+# baseline-vs-runner machine variance alone is routinely ~2x.
+RAW_FAIL_RATIO = 3.0
+P99_FAIL_RATIO = 4.0
+P99_WARN_RATIO = 2.0
 ALLOC_GATED = ("BM_EngineObjectiveSteadyState", "BM_EngineAggregateSteadyState")
 # Compute-bound benches whose cpu_time measures real work on the calling
 # thread. BM_EngineSolveCluster* and BM_EngineWarmResolveAfterUpdate are
@@ -59,11 +90,9 @@ def load_benches(path):
     return benches
 
 
-def main():
-    if len(sys.argv) != 3:
-        sys.exit(__doc__)
-    baseline = load_benches(sys.argv[1])
-    current = load_benches(sys.argv[2])
+def microbench_gate(baseline_path, current_path):
+    baseline = load_benches(baseline_path)
+    current = load_benches(current_path)
     failures = []
     warnings = []
 
@@ -79,7 +108,7 @@ def main():
     if alloc_checked == 0:
         failures.append("no steady-state engine benches found in current run")
 
-    # 2. Machine-normalized timing ratios over the compute-bound benches.
+    # 2 + 3. Machine-normalized ratios plus the absolute raw ceiling.
     ratios = {}
     informational = {}
     for name, bench in current.items():
@@ -88,7 +117,15 @@ def main():
             continue
         base_ns = base.get("cpu_time")
         cur_ns = bench.get("cpu_time")
-        if not base_ns or not cur_ns or base_ns <= 0:
+        if base_ns is None or cur_ns is None:
+            continue
+        if base_ns <= 0 or cur_ns <= 0:
+            # Timer granularity underflow at tiny --benchmark_min_time
+            # budgets: a 0 here is a measurement artifact, but silently
+            # dropping the bench would shrink the gate without a trace.
+            warnings.append(
+                f"{name}: cpu_time is 0 in "
+                f"{'baseline' if base_ns <= 0 else 'current'}; skipped")
             continue
         if name.startswith(TIMING_GATED):
             ratios[name] = cur_ns / base_ns
@@ -103,6 +140,14 @@ def main():
             if normalized > FAIL_RATIO:
                 failures.append(
                     f"{name}: normalized ratio {normalized:.2f} > {FAIL_RATIO}")
+                marker = "F"
+            elif ratio > RAW_FAIL_RATIO:
+                # The uniform-regression backstop: normalization can hide a
+                # fleet-wide slowdown, the raw ceiling cannot.
+                failures.append(
+                    f"{name}: raw ratio {ratio:.2f} > {RAW_FAIL_RATIO} "
+                    f"(absolute ceiling; uniform regressions are invisible "
+                    f"to the normalized gate)")
                 marker = "F"
             elif normalized > WARN_RATIO:
                 warnings.append(
@@ -124,6 +169,83 @@ def main():
         sys.exit(1)
     print(f"OK: {alloc_checked} alloc-gated benches clean, "
           f"{len(ratios)} timing ratios within {FAIL_RATIO}x of baseline")
+
+
+def load_latency(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("kind") != "sgla_rpc_loadgen":
+        sys.exit(f"ERROR: {path} is not a loadgen report "
+                 f"(kind={report.get('kind')!r})")
+    return report
+
+
+def latency_gate(baseline_path, current_path):
+    baseline = load_latency(baseline_path)
+    current = load_latency(current_path)
+    failures = []
+    warnings = []
+
+    for label, report, path in (("baseline", baseline, baseline_path),
+                                ("current", current, current_path)):
+        tag = report.get("sanitizer", "unknown")
+        if tag != "none":
+            sys.exit(f"ERROR: {label} report {path} was produced by a "
+                     f"'{tag}'-sanitized build; sanitizer timings are not "
+                     f"comparable. Re-run without sanitizers.")
+
+    errors = current.get("errors", -1)
+    if errors != 0:
+        failures.append(f"loadgen reported {errors} request errors "
+                        f"(rejections are counted separately and are fine)")
+    if current.get("requests", 0) <= 0:
+        failures.append("loadgen report contains no requests")
+
+    base_p99 = baseline.get("latency_ns", {}).get("p99", 0)
+    cur_p99 = current.get("latency_ns", {}).get("p99", 0)
+    if base_p99 > 0 and cur_p99 > 0:
+        ratio = cur_p99 / base_p99
+        print(f"p99 latency: baseline {base_p99 / 1e6:.3f} ms, "
+              f"current {cur_p99 / 1e6:.3f} ms, ratio {ratio:.2f}")
+        if ratio > P99_FAIL_RATIO:
+            failures.append(
+                f"p99 ratio {ratio:.2f} > {P99_FAIL_RATIO} (tail-latency "
+                f"regression)")
+        elif ratio > P99_WARN_RATIO:
+            warnings.append(f"p99 ratio {ratio:.2f} > {P99_WARN_RATIO}")
+    else:
+        warnings.append("p99 missing from baseline or current; not gated")
+    for p in ("p50", "p95"):
+        base_v = baseline.get("latency_ns", {}).get(p, 0)
+        cur_v = current.get("latency_ns", {}).get(p, 0)
+        if base_v > 0 and cur_v > 0:
+            print(f"  [i] {p}: baseline {base_v / 1e6:.3f} ms, "
+                  f"current {cur_v / 1e6:.3f} ms, ratio "
+                  f"{cur_v / base_v:.2f} (informational)")
+
+    for warning in warnings:
+        print(f"WARNING: {warning}")
+    for failure in failures:
+        print(f"REGRESSION: {failure}")
+    if failures:
+        sys.exit(1)
+    print(f"OK: {current.get('requests')} requests, "
+          f"{current.get('ok')} ok, {current.get('rejected')} rejected, "
+          f"0 errors; p99 within {P99_FAIL_RATIO}x of baseline")
+
+
+def main():
+    args = sys.argv[1:]
+    latency = False
+    if args and args[0] == "--latency":
+        latency = True
+        args = args[1:]
+    if len(args) != 2:
+        sys.exit(__doc__)
+    if latency:
+        latency_gate(args[0], args[1])
+    else:
+        microbench_gate(args[0], args[1])
 
 
 if __name__ == "__main__":

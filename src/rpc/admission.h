@@ -1,0 +1,59 @@
+#ifndef SGLA_RPC_ADMISSION_H_
+#define SGLA_RPC_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace sgla {
+namespace rpc {
+
+/// Per-tenant in-flight quota: the server charges one unit per admitted
+/// request (solve or control op) and releases it when the reply is posted.
+/// A tenant at its quota gets a typed RESOURCE_EXHAUSTED rejection while
+/// other tenants keep being served — one hot tenant degrades itself, not the
+/// fleet (the serving-side analogue of down-weighting an unreliable view
+/// instead of failing the whole integration). The engine's global
+/// max_pending bound backstops the sum across tenants.
+class TenantQuota {
+ public:
+  /// max_inflight <= 0 disables the quota (TryAcquire always admits).
+  explicit TenantQuota(int64_t max_inflight) : max_inflight_(max_inflight) {}
+
+  /// Charges `tenant` one in-flight unit; false when the tenant is at quota
+  /// (nothing charged).
+  bool TryAcquire(const std::string& tenant) {
+    if (max_inflight_ <= 0) return true;
+    std::lock_guard<std::mutex> lock(mutex_);
+    int64_t& inflight = inflight_[tenant];
+    if (inflight >= max_inflight_) return false;
+    ++inflight;
+    return true;
+  }
+
+  /// Returns one unit. Must pair with a successful TryAcquire.
+  void Release(const std::string& tenant) {
+    if (max_inflight_ <= 0) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inflight_.find(tenant);
+    if (it == inflight_.end()) return;
+    if (--it->second <= 0) inflight_.erase(it);  // keep the map bounded
+  }
+
+  int64_t inflight(const std::string& tenant) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = inflight_.find(tenant);
+    return it == inflight_.end() ? 0 : it->second;
+  }
+
+ private:
+  const int64_t max_inflight_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, int64_t> inflight_;
+};
+
+}  // namespace rpc
+}  // namespace sgla
+
+#endif  // SGLA_RPC_ADMISSION_H_

@@ -1,0 +1,230 @@
+#include "rpc/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace sgla {
+namespace rpc {
+namespace {
+
+Status Errno(const std::string& what) {
+  return Internal(what + ": " + std::string(strerror(errno)));
+}
+
+}  // namespace
+
+Client::~Client() { Disconnect(); }
+
+void Client::Disconnect() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Connect(const std::string& host, int port,
+                       const std::string& tenant, int timeout_ms) {
+  Disconnect();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) return Errno("socket");
+
+  if (timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Disconnect();
+    return InvalidArgument("bad host '" + host + "'");
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status =
+        Errno("connect " + host + ":" + std::to_string(port));
+    Disconnect();
+    return status;
+  }
+
+  if (!tenant.empty()) {
+    HelloRequest hello;
+    hello.tenant = tenant;
+    WireWriter w;
+    EncodeHelloRequest(hello, &w);
+    FrameType reply_type;
+    std::vector<uint8_t> reply;
+    Status status =
+        RoundTrip(FrameType::kHello, std::move(w), &reply_type, &reply);
+    if (!status.ok()) {
+      Disconnect();
+      return status;
+    }
+    if (reply_type != FrameType::kHelloOk) {
+      Disconnect();
+      return Internal("unexpected Hello reply type");
+    }
+  }
+  return OkStatus();
+}
+
+Status Client::WriteAll(const uint8_t* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = write(fd_, data + written, size - written);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Errno("write");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status Client::ReadAll(uint8_t* data, size_t size) {
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = read(fd_, data + got, size - got);
+    if (n == 0) return Internal("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Internal("receive timed out");
+      }
+      return Errno("read");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Status Client::RoundTrip(FrameType request_type, WireWriter payload,
+                         FrameType* reply_type,
+                         std::vector<uint8_t>* reply_payload) {
+  if (fd_ < 0) return FailedPrecondition("client is not connected");
+  const uint64_t request_id = next_request_id_++;
+  const std::vector<uint8_t> frame =
+      BuildFrame(request_type, request_id, std::move(payload));
+  Status status = WriteAll(frame.data(), frame.size());
+  if (!status.ok()) return status;
+
+  uint8_t header_bytes[kFrameHeaderBytes];
+  status = ReadAll(header_bytes, sizeof(header_bytes));
+  if (!status.ok()) return status;
+  FrameHeader header;
+  if (!DecodeFrameHeader(header_bytes, &header)) {
+    Disconnect();  // framing is lost
+    return Internal("malformed reply frame header");
+  }
+  reply_payload->resize(header.payload_length);
+  if (header.payload_length > 0) {
+    status = ReadAll(reply_payload->data(), reply_payload->size());
+    if (!status.ok()) return status;
+  }
+  if (header.request_id != request_id) {
+    Disconnect();  // stream is desynchronized; nothing after this is safe
+    return Internal("reply request_id mismatch");
+  }
+  if (header.type == FrameType::kError) {
+    WireReader r(reply_payload->data(), reply_payload->size());
+    ErrorReply error;
+    if (!DecodeErrorReply(&r, &error)) {
+      return Internal("malformed error reply");
+    }
+    return Status(error.code, error.message);
+  }
+  *reply_type = header.type;
+  return OkStatus();
+}
+
+Result<RegisterReply> Client::Register(const RegisterRequest& request) {
+  WireWriter w;
+  EncodeRegisterRequest(request, &w);
+  FrameType type;
+  std::vector<uint8_t> payload;
+  Status status = RoundTrip(FrameType::kRegister, std::move(w), &type,
+                            &payload);
+  if (!status.ok()) return status;
+  if (type != FrameType::kRegisterOk) return Internal("wrong reply type");
+  WireReader r(payload.data(), payload.size());
+  RegisterReply reply;
+  if (!DecodeRegisterReply(&r, &reply)) {
+    return Internal("malformed Register reply");
+  }
+  return reply;
+}
+
+Result<UpdateReply> Client::Update(const UpdateRequest& request) {
+  WireWriter w;
+  EncodeUpdateRequest(request, &w);
+  FrameType type;
+  std::vector<uint8_t> payload;
+  Status status =
+      RoundTrip(FrameType::kUpdate, std::move(w), &type, &payload);
+  if (!status.ok()) return status;
+  if (type != FrameType::kUpdateOk) return Internal("wrong reply type");
+  WireReader r(payload.data(), payload.size());
+  UpdateReply reply;
+  if (!DecodeUpdateReply(&r, &reply)) {
+    return Internal("malformed Update reply");
+  }
+  return reply;
+}
+
+Result<SolveReply> Client::Solve(const SolveWireRequest& request) {
+  WireWriter w;
+  EncodeSolveRequest(request, &w);
+  FrameType type;
+  std::vector<uint8_t> payload;
+  Status status = RoundTrip(FrameType::kSolve, std::move(w), &type, &payload);
+  if (!status.ok()) return status;
+  if (type != FrameType::kSolveOk) return Internal("wrong reply type");
+  WireReader r(payload.data(), payload.size());
+  SolveReply reply;
+  if (!DecodeSolveReply(&r, &reply)) {
+    return Internal("malformed Solve reply");
+  }
+  return reply;
+}
+
+Result<EvictReply> Client::Evict(const EvictRequest& request) {
+  WireWriter w;
+  EncodeEvictRequest(request, &w);
+  FrameType type;
+  std::vector<uint8_t> payload;
+  Status status = RoundTrip(FrameType::kEvict, std::move(w), &type, &payload);
+  if (!status.ok()) return status;
+  if (type != FrameType::kEvictOk) return Internal("wrong reply type");
+  WireReader r(payload.data(), payload.size());
+  EvictReply reply;
+  if (!DecodeEvictReply(&r, &reply)) {
+    return Internal("malformed Evict reply");
+  }
+  return reply;
+}
+
+Status Client::Ping() {
+  FrameType type;
+  std::vector<uint8_t> payload;
+  Status status = RoundTrip(FrameType::kPing, WireWriter(), &type, &payload);
+  if (!status.ok()) return status;
+  if (type != FrameType::kPong) return Internal("wrong reply type");
+  return OkStatus();
+}
+
+}  // namespace rpc
+}  // namespace sgla

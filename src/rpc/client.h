@@ -1,0 +1,56 @@
+#ifndef SGLA_RPC_CLIENT_H_
+#define SGLA_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rpc/messages.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace rpc {
+
+/// Blocking single-connection client for the sgla RPC server. One request in
+/// flight at a time (request_id echoes are still verified, so a protocol
+/// break surfaces as INTERNAL instead of a wrong answer). Not thread-safe;
+/// concurrent load uses one Client per thread — which is exactly what the
+/// server's coalescer is for.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and (when `tenant` is non-empty) performs the Hello handshake
+  /// that attributes this connection's requests to the tenant's quota.
+  /// `timeout_ms` bounds each socket send/receive (0 = no timeout).
+  Status Connect(const std::string& host, int port,
+                 const std::string& tenant = "", int timeout_ms = 0);
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  Result<RegisterReply> Register(const RegisterRequest& request);
+  Result<UpdateReply> Update(const UpdateRequest& request);
+  Result<SolveReply> Solve(const SolveWireRequest& request);
+  Result<EvictReply> Evict(const EvictRequest& request);
+  Status Ping();
+
+ private:
+  /// Writes the frame, reads the reply frame, verifies the request_id echo,
+  /// and maps kError payloads to their typed Status. On success `*reply_type`
+  /// and `*payload` hold the non-error reply.
+  Status RoundTrip(FrameType request_type, WireWriter payload,
+                   FrameType* reply_type, std::vector<uint8_t>* reply_payload);
+  Status WriteAll(const uint8_t* data, size_t size);
+  Status ReadAll(uint8_t* data, size_t size);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace rpc
+}  // namespace sgla
+
+#endif  // SGLA_RPC_CLIENT_H_

@@ -1,0 +1,315 @@
+#include "rpc/messages.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/graph.h"
+
+namespace sgla {
+namespace rpc {
+namespace {
+
+// --- shared sub-encoders ----------------------------------------------------
+
+void EncodeMvag(const core::MultiViewGraph& mvag, WireWriter* w) {
+  w->I64(mvag.num_nodes());
+  w->I32(mvag.num_clusters());
+  w->U32(static_cast<uint32_t>(mvag.graph_views().size()));
+  for (const graph::Graph& g : mvag.graph_views()) {
+    w->U64(static_cast<uint64_t>(g.num_edges()));
+    for (const graph::Edge& e : g.edges()) {
+      w->I64(e.u);
+      w->I64(e.v);
+      w->F64(e.weight);
+    }
+  }
+  w->U32(static_cast<uint32_t>(mvag.attribute_views().size()));
+  for (const la::DenseMatrix& x : mvag.attribute_views()) {
+    w->I64(x.rows());
+    w->I64(x.cols());
+    w->F64Vec(x.data());
+  }
+}
+
+bool DecodeMvag(WireReader* r, core::MultiViewGraph* mvag) {
+  int64_t num_nodes;
+  int32_t num_clusters;
+  uint32_t num_graph_views;
+  if (!r->I64(&num_nodes) || !r->I32(&num_clusters) ||
+      !r->U32(&num_graph_views)) {
+    return false;
+  }
+  if (num_nodes < 0) return false;
+  *mvag = core::MultiViewGraph(num_nodes, num_clusters);
+  for (uint32_t v = 0; v < num_graph_views; ++v) {
+    uint64_t num_edges;
+    if (!r->U64(&num_edges)) return false;
+    std::vector<graph::Edge> edges;
+    // 24 wire bytes per edge: a hostile count cannot outsize the payload.
+    if (num_edges > (1u << 31)) return false;
+    edges.reserve(num_edges);
+    for (uint64_t e = 0; e < num_edges; ++e) {
+      graph::Edge edge;
+      if (!r->I64(&edge.u) || !r->I64(&edge.v) || !r->F64(&edge.weight)) {
+        return false;
+      }
+      edges.push_back(edge);
+    }
+    mvag->AddGraphView(graph::Graph::FromEdges(num_nodes, std::move(edges)));
+  }
+  uint32_t num_attribute_views;
+  if (!r->U32(&num_attribute_views)) return false;
+  for (uint32_t v = 0; v < num_attribute_views; ++v) {
+    int64_t rows, cols;
+    std::vector<double> data;
+    if (!r->I64(&rows) || !r->I64(&cols) || !r->F64Vec(&data)) return false;
+    if (rows < 0 || cols < 0 ||
+        data.size() != static_cast<uint64_t>(rows) *
+                           static_cast<uint64_t>(cols)) {
+      return false;
+    }
+    la::DenseMatrix x(rows, cols);
+    x.data() = std::move(data);
+    mvag->AddAttributeView(std::move(x));
+  }
+  return true;
+}
+
+void EncodeDelta(const serve::GraphDelta& delta, WireWriter* w) {
+  w->U32(static_cast<uint32_t>(delta.graph_views.size()));
+  for (const serve::GraphViewDelta& g : delta.graph_views) {
+    w->I32(g.view);
+    w->U64(g.upserts.size());
+    for (const serve::EdgeUpsert& u : g.upserts) {
+      w->I64(u.u);
+      w->I64(u.v);
+      w->F64(u.weight);
+    }
+    w->U64(g.removals.size());
+    for (const serve::EdgeRemoval& rm : g.removals) {
+      w->I64(rm.u);
+      w->I64(rm.v);
+    }
+  }
+  w->U32(static_cast<uint32_t>(delta.attribute_rows.size()));
+  for (const serve::AttributeRowUpdate& a : delta.attribute_rows) {
+    w->I32(a.view);
+    w->I64(a.row);
+    w->F64Vec(a.values);
+  }
+}
+
+bool DecodeDelta(WireReader* r, serve::GraphDelta* delta) {
+  uint32_t num_graph_views;
+  if (!r->U32(&num_graph_views)) return false;
+  delta->graph_views.resize(num_graph_views);
+  for (serve::GraphViewDelta& g : delta->graph_views) {
+    uint64_t count;
+    if (!r->I32(&g.view) || !r->U64(&count) || count > (1u << 31)) {
+      return false;
+    }
+    g.upserts.resize(count);
+    for (serve::EdgeUpsert& u : g.upserts) {
+      if (!r->I64(&u.u) || !r->I64(&u.v) || !r->F64(&u.weight)) return false;
+    }
+    if (!r->U64(&count) || count > (1u << 31)) return false;
+    g.removals.resize(count);
+    for (serve::EdgeRemoval& rm : g.removals) {
+      if (!r->I64(&rm.u) || !r->I64(&rm.v)) return false;
+    }
+  }
+  uint32_t num_attribute_rows;
+  if (!r->U32(&num_attribute_rows)) return false;
+  delta->attribute_rows.resize(num_attribute_rows);
+  for (serve::AttributeRowUpdate& a : delta->attribute_rows) {
+    if (!r->I32(&a.view) || !r->I64(&a.row) || !r->F64Vec(&a.values)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- messages ---------------------------------------------------------------
+
+void EncodeHelloRequest(const HelloRequest& msg, WireWriter* w) {
+  w->Str(msg.tenant);
+}
+
+bool DecodeHelloRequest(WireReader* r, HelloRequest* msg) {
+  return r->Str(&msg->tenant) && r->Finish();
+}
+
+void EncodeRegisterRequest(const RegisterRequest& msg, WireWriter* w) {
+  w->Str(msg.id);
+  w->I32(msg.shards);
+  w->U8(msg.updatable ? 1 : 0);
+  w->I32(msg.knn_k);
+  EncodeMvag(msg.mvag, w);
+}
+
+bool DecodeRegisterRequest(WireReader* r, RegisterRequest* msg) {
+  uint8_t updatable;
+  if (!r->Str(&msg->id) || !r->I32(&msg->shards) || !r->U8(&updatable) ||
+      !r->I32(&msg->knn_k) || !DecodeMvag(r, &msg->mvag)) {
+    return false;
+  }
+  msg->updatable = updatable != 0;
+  return r->Finish();
+}
+
+void EncodeRegisterReply(const RegisterReply& msg, WireWriter* w) {
+  w->I64(msg.num_nodes);
+  w->I64(msg.epoch);
+  w->I32(msg.num_views);
+}
+
+bool DecodeRegisterReply(WireReader* r, RegisterReply* msg) {
+  return r->I64(&msg->num_nodes) && r->I64(&msg->epoch) &&
+         r->I32(&msg->num_views) && r->Finish();
+}
+
+void EncodeUpdateRequest(const UpdateRequest& msg, WireWriter* w) {
+  w->Str(msg.id);
+  EncodeDelta(msg.delta, w);
+}
+
+bool DecodeUpdateRequest(WireReader* r, UpdateRequest* msg) {
+  return r->Str(&msg->id) && DecodeDelta(r, &msg->delta) && r->Finish();
+}
+
+void EncodeUpdateReply(const UpdateReply& msg, WireWriter* w) {
+  w->I64(msg.epoch);
+}
+
+bool DecodeUpdateReply(WireReader* r, UpdateReply* msg) {
+  return r->I64(&msg->epoch) && r->Finish();
+}
+
+void EncodeSolveRequest(const SolveWireRequest& msg, WireWriter* w) {
+  w->Str(msg.graph_id);
+  w->U8(static_cast<uint8_t>(msg.mode));
+  w->U8(static_cast<uint8_t>(msg.algorithm));
+  w->I32(msg.k);
+  w->U8(msg.warm_start ? 1 : 0);
+  w->U8(msg.coalesce ? 1 : 0);
+}
+
+bool DecodeSolveRequest(WireReader* r, SolveWireRequest* msg) {
+  uint8_t mode, algorithm, warm_start, coalesce;
+  if (!r->Str(&msg->graph_id) || !r->U8(&mode) || !r->U8(&algorithm) ||
+      !r->I32(&msg->k) || !r->U8(&warm_start) || !r->U8(&coalesce) ||
+      !r->Finish()) {
+    return false;
+  }
+  if (mode > static_cast<uint8_t>(serve::SolveMode::kEmbed)) return false;
+  if (algorithm > static_cast<uint8_t>(serve::Algorithm::kSglaPlus)) {
+    return false;
+  }
+  msg->mode = static_cast<serve::SolveMode>(mode);
+  msg->algorithm = static_cast<serve::Algorithm>(algorithm);
+  msg->warm_start = warm_start != 0;
+  msg->coalesce = coalesce != 0;
+  return true;
+}
+
+void EncodeSolveReply(const SolveReply& msg, WireWriter* w) {
+  w->U8(msg.mode);
+  w->F64Vec(msg.weights);
+  w->I64(msg.graph_epoch);
+  w->U8(msg.warm_started ? 1 : 0);
+  w->I64(msg.lanczos_iterations);
+  if (msg.mode == static_cast<uint8_t>(serve::SolveMode::kCluster)) {
+    w->I32Vec(msg.labels);
+  } else {
+    w->I64(msg.embedding.rows());
+    w->I64(msg.embedding.cols());
+    w->F64Vec(msg.embedding.data());
+  }
+}
+
+bool DecodeSolveReply(WireReader* r, SolveReply* msg) {
+  uint8_t warm_started;
+  if (!r->U8(&msg->mode) || !r->F64Vec(&msg->weights) ||
+      !r->I64(&msg->graph_epoch) || !r->U8(&warm_started) ||
+      !r->I64(&msg->lanczos_iterations)) {
+    return false;
+  }
+  msg->warm_started = warm_started != 0;
+  if (msg->mode == static_cast<uint8_t>(serve::SolveMode::kCluster)) {
+    if (!r->I32Vec(&msg->labels)) return false;
+  } else if (msg->mode == static_cast<uint8_t>(serve::SolveMode::kEmbed)) {
+    int64_t rows, cols;
+    std::vector<double> data;
+    if (!r->I64(&rows) || !r->I64(&cols) || !r->F64Vec(&data)) return false;
+    if (rows < 0 || cols < 0 ||
+        data.size() != static_cast<uint64_t>(rows) *
+                           static_cast<uint64_t>(cols)) {
+      return false;
+    }
+    msg->embedding = la::DenseMatrix(rows, cols);
+    msg->embedding.data() = std::move(data);
+  } else {
+    return false;
+  }
+  return r->Finish();
+}
+
+void EncodeEvictRequest(const EvictRequest& msg, WireWriter* w) {
+  w->Str(msg.id);
+}
+
+bool DecodeEvictRequest(WireReader* r, EvictRequest* msg) {
+  return r->Str(&msg->id) && r->Finish();
+}
+
+void EncodeEvictReply(const EvictReply& msg, WireWriter* w) {
+  w->U8(msg.existed ? 1 : 0);
+}
+
+bool DecodeEvictReply(WireReader* r, EvictReply* msg) {
+  uint8_t existed;
+  if (!r->U8(&existed) || !r->Finish()) return false;
+  msg->existed = existed != 0;
+  return true;
+}
+
+void EncodeErrorReply(const ErrorReply& msg, WireWriter* w) {
+  w->U8(static_cast<uint8_t>(msg.code));
+  w->Str(msg.message);
+}
+
+bool DecodeErrorReply(WireReader* r, ErrorReply* msg) {
+  uint8_t code;
+  if (!r->U8(&code) || !r->Str(&msg->message) || !r->Finish()) return false;
+  if (code > static_cast<uint8_t>(StatusCode::kUnimplemented)) return false;
+  msg->code = static_cast<StatusCode>(code);
+  return true;
+}
+
+std::vector<uint8_t> BuildFrame(FrameType type, uint64_t request_id,
+                                WireWriter payload) {
+  std::vector<uint8_t> body = payload.TakeBuffer();
+  FrameHeader header;
+  header.payload_length = static_cast<uint32_t>(body.size());
+  header.type = type;
+  header.request_id = request_id;
+  std::vector<uint8_t> frame(kFrameHeaderBytes + body.size());
+  EncodeFrameHeader(header, frame.data());
+  std::copy(body.begin(), body.end(), frame.begin() + kFrameHeaderBytes);
+  return frame;
+}
+
+std::vector<uint8_t> BuildErrorFrame(uint64_t request_id,
+                                     const Status& status) {
+  ErrorReply error;
+  error.code = status.code();
+  error.message = status.message();
+  WireWriter w;
+  EncodeErrorReply(error, &w);
+  return BuildFrame(FrameType::kError, request_id, std::move(w));
+}
+
+}  // namespace rpc
+}  // namespace sgla

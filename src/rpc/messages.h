@@ -1,0 +1,137 @@
+#ifndef SGLA_RPC_MESSAGES_H_
+#define SGLA_RPC_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mvag.h"
+#include "la/dense.h"
+#include "rpc/wire.h"
+#include "serve/engine.h"
+#include "serve/graph_delta.h"
+#include "util/status.h"
+
+namespace sgla {
+namespace rpc {
+
+/// Typed payloads of the RPC protocol (see wire.h for the frame envelope).
+/// Every message has an Encode (struct -> WireWriter) and a Decode
+/// (WireReader -> struct). Decode returns false on malformed/truncated
+/// payloads (including trailing garbage) and may leave the output partially
+/// written — callers reply kError INVALID_ARGUMENT and drop the partial
+/// struct.
+///
+/// Deliberate scope: the Solve payload carries exactly the request-key
+/// fields (graph_id, mode, algorithm, k, warm_start) and no solver tuning —
+/// server-side options stay at their defaults, which is what makes
+/// key-based request coalescing exact (two wire-identical solves are
+/// semantically identical).
+
+struct HelloRequest {
+  std::string tenant;  ///< empty = the default tenant
+};
+
+struct RegisterRequest {
+  std::string id;
+  core::MultiViewGraph mvag;  ///< ground-truth labels do not travel
+  int32_t shards = 1;
+  bool updatable = true;
+  /// KNN neighbor count for attribute views; 0 = server default.
+  int32_t knn_k = 0;
+};
+
+struct RegisterReply {
+  int64_t num_nodes = 0;
+  int64_t epoch = 0;
+  int32_t num_views = 0;
+};
+
+struct UpdateRequest {
+  std::string id;
+  serve::GraphDelta delta;
+};
+
+struct UpdateReply {
+  int64_t epoch = 0;
+};
+
+struct SolveWireRequest {
+  std::string graph_id;
+  serve::SolveMode mode = serve::SolveMode::kCluster;
+  serve::Algorithm algorithm = serve::Algorithm::kSgla;
+  int32_t k = 0;  ///< 0 = the graph's registered default
+  bool warm_start = false;
+  /// Ask the server to coalesce with identical in-flight solves (default on:
+  /// wire-identical requests are semantically identical; see above).
+  bool coalesce = true;
+};
+
+struct SolveReply {
+  uint8_t mode = 0;  ///< serve::SolveMode of the payload
+  la::Vector weights;
+  int64_t graph_epoch = 0;
+  bool warm_started = false;
+  int64_t lanczos_iterations = 0;
+  std::vector<int32_t> labels;  ///< kCluster
+  la::DenseMatrix embedding;    ///< kEmbed
+};
+
+struct EvictRequest {
+  std::string id;
+};
+
+struct EvictReply {
+  bool existed = false;
+};
+
+struct ErrorReply {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+void EncodeHelloRequest(const HelloRequest& msg, WireWriter* w);
+bool DecodeHelloRequest(WireReader* r, HelloRequest* msg);
+
+void EncodeRegisterRequest(const RegisterRequest& msg, WireWriter* w);
+bool DecodeRegisterRequest(WireReader* r, RegisterRequest* msg);
+
+void EncodeRegisterReply(const RegisterReply& msg, WireWriter* w);
+bool DecodeRegisterReply(WireReader* r, RegisterReply* msg);
+
+void EncodeUpdateRequest(const UpdateRequest& msg, WireWriter* w);
+bool DecodeUpdateRequest(WireReader* r, UpdateRequest* msg);
+
+void EncodeUpdateReply(const UpdateReply& msg, WireWriter* w);
+bool DecodeUpdateReply(WireReader* r, UpdateReply* msg);
+
+void EncodeSolveRequest(const SolveWireRequest& msg, WireWriter* w);
+bool DecodeSolveRequest(WireReader* r, SolveWireRequest* msg);
+
+/// Built from the engine's response; the double payloads (weights,
+/// embedding) travel as raw bits, so the client reassembles exactly what
+/// the engine computed.
+void EncodeSolveReply(const SolveReply& msg, WireWriter* w);
+bool DecodeSolveReply(WireReader* r, SolveReply* msg);
+
+void EncodeEvictRequest(const EvictRequest& msg, WireWriter* w);
+bool DecodeEvictRequest(WireReader* r, EvictRequest* msg);
+
+void EncodeEvictReply(const EvictReply& msg, WireWriter* w);
+bool DecodeEvictReply(WireReader* r, EvictReply* msg);
+
+void EncodeErrorReply(const ErrorReply& msg, WireWriter* w);
+bool DecodeErrorReply(WireReader* r, ErrorReply* msg);
+
+/// A complete frame (header + payload) ready to write to a socket.
+std::vector<uint8_t> BuildFrame(FrameType type, uint64_t request_id,
+                                WireWriter payload);
+
+/// The kError frame for a Status.
+std::vector<uint8_t> BuildErrorFrame(uint64_t request_id,
+                                     const Status& status);
+
+}  // namespace rpc
+}  // namespace sgla
+
+#endif  // SGLA_RPC_MESSAGES_H_

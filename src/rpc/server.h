@@ -1,0 +1,153 @@
+#ifndef SGLA_RPC_SERVER_H_
+#define SGLA_RPC_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/admission.h"
+#include "rpc/wire.h"
+#include "serve/engine.h"
+#include "util/status.h"
+#include "util/task_queue.h"
+
+namespace sgla {
+namespace rpc {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is readable via port() after Start().
+  int port = 0;
+  /// Per-tenant in-flight request quota (solves + control ops); <= 0
+  /// disables per-tenant admission. The engine's EngineOptions::max_pending
+  /// is the global backstop underneath this.
+  int64_t tenant_max_inflight = 64;
+  /// Workers of the control queue that runs Register/Update/Evict — these
+  /// can be expensive (registration runs KNN) and must not stall the event
+  /// loop or occupy solve sessions.
+  int control_workers = 1;
+  /// Honor the per-request coalesce flag (default). Off forces every solve
+  /// to run physically — the A/B switch the load generator uses to
+  /// demonstrate coalescing.
+  bool allow_coalescing = true;
+};
+
+/// Epoll-based binary-framed RPC front-end over a serve::Engine: one event-
+/// loop thread owns every socket, solves are dispatched through the engine's
+/// bounded, coalescing TrySubmit (completions come back via an eventfd), and
+/// Register/Update/Evict run on a small control TaskQueue. Admission is
+/// layered: per-tenant quotas here, the engine's global max_pending bound
+/// underneath — both reject with a typed RESOURCE_EXHAUSTED frame instead of
+/// queueing unboundedly.
+///
+/// Shutdown() drains gracefully: the listener closes immediately, frames
+/// already received keep being processed to completion, frames arriving
+/// during the drain get a typed FAILED_PRECONDITION reply, and the loop
+/// exits only after every accepted request's reply has been handed to the
+/// socket layer — an accepted request is never silently dropped.
+class Server {
+ public:
+  /// `engine` must outlive the server. The engine's own options decide
+  /// session parallelism, warm caching, and the global admission bound.
+  explicit Server(serve::Engine* engine, const ServerOptions& options = {});
+  ~Server();  ///< Shutdown() if still running
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the event loop. Fails (without a thread) on
+  /// socket errors — e.g. the port is taken.
+  Status Start();
+
+  /// The actually-bound port (after Start(); useful with options.port = 0).
+  int port() const { return port_; }
+
+  /// Graceful drain; blocks until every accepted request was answered and
+  /// the loop exited. Idempotent and called by the destructor.
+  void Shutdown();
+
+  // Observability counters (tests and the load generator read these).
+  int64_t frames_received() const { return frames_received_.load(); }
+  int64_t solves_dispatched() const { return solves_dispatched_.load(); }
+  int64_t rejected_quota() const { return rejected_quota_.load(); }
+  int64_t rejected_engine() const { return rejected_engine_.load(); }
+
+ private:
+  /// Per-connection state; owned by the event loop thread exclusively.
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string tenant;  ///< set by kHello; empty = default tenant
+    std::vector<uint8_t> in;                ///< unparsed inbound bytes
+    std::deque<std::vector<uint8_t>> out;   ///< frames awaiting write
+    size_t out_offset = 0;                  ///< into out.front()
+    int64_t inflight = 0;  ///< async requests awaiting their completion
+    bool want_write = false;                ///< EPOLLOUT registered
+  };
+
+  struct Completion {
+    uint64_t connection_id = 0;
+    std::vector<uint8_t> frame;
+  };
+
+  void Loop();
+  void AcceptNew();
+  void HandleRead(Connection* conn);
+  void ParseFrames(Connection* conn);
+  void DispatchFrame(Connection* conn, const FrameHeader& header,
+                     const uint8_t* payload, size_t payload_size);
+  void DispatchSolve(Connection* conn, uint64_t request_id,
+                     const uint8_t* payload, size_t payload_size);
+  void DispatchControl(Connection* conn, const FrameHeader& header,
+                       const uint8_t* payload, size_t payload_size);
+  /// Appends a frame to the connection's write queue and flushes what the
+  /// socket will take.
+  void SendNow(Connection* conn, std::vector<uint8_t> frame);
+  void TryFlush(Connection* conn);
+  void SetWantWrite(Connection* conn, bool want);
+  /// Closes the socket; the map entry lingers (fd = -1) while completions
+  /// are still owed so they can be accounted and dropped.
+  void CloseConnection(Connection* conn);
+  void DeliverCompletions();
+  /// Worker-side: queues a reply frame for the loop to deliver and wakes it.
+  void PostCompletion(uint64_t connection_id, std::vector<uint8_t> frame);
+  bool DrainComplete();
+
+  serve::Engine* engine_;
+  ServerOptions options_;
+  TenantQuota quota_;
+  util::TaskQueue control_queue_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  int port_ = 0;
+  std::thread loop_;
+  bool started_ = false;
+  std::mutex lifecycle_mutex_;  ///< serializes Start/Shutdown
+
+  std::atomic<bool> draining_{false};
+  /// Requests dispatched asynchronously whose completion has not been
+  /// posted yet; the drain condition needs it to hit zero.
+  std::atomic<int64_t> inflight_total_{0};
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+
+  uint64_t next_connection_id_ = 2;  ///< 0 = listener, 1 = eventfd
+  std::map<uint64_t, std::unique_ptr<Connection>> connections_;
+
+  std::atomic<int64_t> frames_received_{0};
+  std::atomic<int64_t> solves_dispatched_{0};
+  std::atomic<int64_t> rejected_quota_{0};
+  std::atomic<int64_t> rejected_engine_{0};
+};
+
+}  // namespace rpc
+}  // namespace sgla
+
+#endif  // SGLA_RPC_SERVER_H_

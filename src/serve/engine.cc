@@ -1,8 +1,12 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <exception>
 #include <memory>
+#include <string>
 #include <utility>
+
+#include "util/logging.h"
 
 namespace sgla {
 namespace serve {
@@ -10,6 +14,7 @@ namespace serve {
 Engine::Engine(GraphRegistry* registry, const EngineOptions& options)
     : registry_(registry),
       warm_cache_(options.warm_cache),
+      max_pending_(options.max_pending),
       workspaces_(static_cast<size_t>(std::max(1, options.num_sessions))),
       queue_(std::max(1, options.num_sessions)) {}
 
@@ -47,17 +52,127 @@ std::future<Result<SolveResponse>> Engine::Submit(SolveRequest request) {
         NotFound("graph '" + request.graph_id + "' is not registered"));
     return future;
   }
+  {
+    // Admission under the same mutex TrySubmit uses, so the two submission
+    // paths share one bound.
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    if (max_pending_ > 0 &&
+        pending_.load(std::memory_order_relaxed) >= max_pending_) {
+      promise->set_value(ResourceExhausted(
+          "engine is saturated: " + std::to_string(max_pending_) +
+          " solves already pending"));
+      return future;
+    }
+    pending_.fetch_add(1, std::memory_order_relaxed);
+  }
   // shared_ptr wrappers keep the task copyable for std::function.
   auto shared_request = std::make_shared<SolveRequest>(std::move(request));
   queue_.Submit([this, promise, shared_request, entry](int worker) {
-    Result<SolveResponse> result =
-        Run(*shared_request, *entry, &workspaces_[static_cast<size_t>(worker)]);
+    std::exception_ptr thrown;
+    Result<SolveResponse> result = RunGuarded(
+        *shared_request, *entry, &workspaces_[static_cast<size_t>(worker)],
+        &thrown);
     // Count before resolving: a caller that saw its future complete must
-    // never observe a completed() smaller than its own request.
+    // never observe a completed() smaller than its own request. completed()
+    // counts errored (non-OK Status and thrown) solves too — it means
+    // "finished", not "succeeded".
     ++completed_;
-    promise->set_value(std::move(result));
+    pending_.fetch_sub(1, std::memory_order_relaxed);
+    // A solve that threw resolves the future by re-throwing from
+    // future.get(): the caller sees the real exception instead of hanging
+    // forever on a promise that was never fulfilled, and the worker (which
+    // caught it) lives on to serve the next request.
+    if (thrown != nullptr) {
+      promise->set_exception(thrown);
+    } else {
+      promise->set_value(std::move(result));
+    }
   });
   return future;
+}
+
+Status Engine::TrySubmit(SolveRequest request, SolveCallback done,
+                         const SubmitOptions& options) {
+  SGLA_CHECK(done != nullptr) << "TrySubmit without a completion callback";
+  std::shared_ptr<const GraphEntry> entry = registry_->Find(request.graph_id);
+  if (entry == nullptr) {
+    return NotFound("graph '" + request.graph_id + "' is not registered");
+  }
+  // The coalescing key needs the *effective* k (0 = the graph's default).
+  const int k = request.k > 0 ? request.k : entry->num_clusters;
+  const SolveCache::Key key{request.graph_id, static_cast<int>(request.mode),
+                            static_cast<int>(request.algorithm), k};
+
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    if (options.coalesce) {
+      auto it = inflight_.find(key);
+      if (it != inflight_.end() &&
+          it->second->warm_start == request.warm_start) {
+        // Join the in-flight solve: share its (bit-identical) response,
+        // queue nothing, consume no admission slot.
+        it->second->joiners.push_back(std::move(done));
+        coalesced_.fetch_add(1, std::memory_order_relaxed);
+        return OkStatus();
+      }
+    }
+    if (max_pending_ > 0 &&
+        pending_.load(std::memory_order_relaxed) >= max_pending_) {
+      return ResourceExhausted(
+          "engine is saturated: " + std::to_string(max_pending_) +
+          " solves already pending");
+    }
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    if (options.coalesce) {
+      // Publish the flight before queueing so identical requests arriving
+      // from now on join it instead of racing a duplicate solve.
+      flight = std::make_shared<Flight>();
+      flight->warm_start = request.warm_start;
+      inflight_[key] = flight;
+    }
+  }
+
+  auto shared_request = std::make_shared<SolveRequest>(std::move(request));
+  auto shared_done = std::make_shared<SolveCallback>(std::move(done));
+  queue_.Submit(
+      [this, shared_request, shared_done, entry, flight, key](int worker) {
+        std::exception_ptr thrown;
+        Result<SolveResponse> result = RunGuarded(
+            *shared_request, *entry,
+            &workspaces_[static_cast<size_t>(worker)], &thrown);
+        if (thrown != nullptr) {
+          // Callbacks have no exception channel: surface the throw as a
+          // typed INTERNAL result (the RPC layer turns it into an error
+          // frame). The worker itself already survived the catch.
+          try {
+            std::rethrow_exception(thrown);
+          } catch (const std::exception& e) {
+            result = Internal(std::string("solve threw: ") + e.what());
+          } catch (...) {
+            result = Internal("solve threw a non-std exception");
+          }
+        }
+        std::vector<SolveCallback> joiners;
+        {
+          // Retire the flight BEFORE resolving anyone: a caller that saw
+          // its response and immediately re-submits must start (or join) a
+          // fresh solve, never attach to this finished one.
+          std::lock_guard<std::mutex> lock(inflight_mutex_);
+          if (flight != nullptr) {
+            joiners = std::move(flight->joiners);
+            auto it = inflight_.find(key);
+            if (it != inflight_.end() && it->second == flight) {
+              inflight_.erase(it);
+            }
+          }
+          ++completed_;
+          pending_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        (*shared_done)(result);
+        for (SolveCallback& joiner : joiners) joiner(result);
+      });
+  return OkStatus();
 }
 
 std::vector<std::future<Result<SolveResponse>>> Engine::SubmitBatch(
@@ -77,6 +192,28 @@ Result<SolveResponse> Engine::Solve(SolveRequest request) {
 void Engine::Drain() { queue_.Drain(); }
 
 int64_t Engine::completed() const { return completed_.load(); }
+
+int64_t Engine::pending() const {
+  return pending_.load(std::memory_order_relaxed);
+}
+
+int64_t Engine::coalesced() const {
+  return coalesced_.load(std::memory_order_relaxed);
+}
+
+Result<SolveResponse> Engine::RunGuarded(const SolveRequest& request,
+                                         const GraphEntry& entry,
+                                         SessionWorkspace* ws,
+                                         std::exception_ptr* thrown) {
+  *thrown = nullptr;
+  try {
+    if (solve_hook_) solve_hook_(request);
+    return Run(request, entry, ws);
+  } catch (...) {
+    *thrown = std::current_exception();
+    return Internal("solve threw");
+  }
+}
 
 Result<SolveResponse> Engine::Run(const SolveRequest& request,
                                   const GraphEntry& entry,

@@ -3,7 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -83,6 +87,24 @@ struct EngineOptions {
   /// never send warm_start requests set false to skip the per-solve copy
   /// and the resident memory.
   bool warm_cache = true;
+  /// Admission bound: maximum accepted-but-unfinished solves across
+  /// Submit/TrySubmit. 0 (default) keeps today's unbounded behavior; > 0
+  /// makes both submission paths reject with RESOURCE_EXHAUSTED once the
+  /// bound is reached — typed backpressure instead of an ever-growing
+  /// TaskQueue backlog. Coalesced joins ride an already-admitted solve and
+  /// are never rejected by this bound.
+  int64_t max_pending = 0;
+};
+
+/// Per-call submission knobs for the callback form.
+struct SubmitOptions {
+  /// Share one physical solve among identical in-flight requests: requests
+  /// whose (graph_id, mode, algorithm, effective k, warm_start) all match an
+  /// in-flight coalescable solve get that solve's response instead of
+  /// queueing their own. Correct only when callers also send identical
+  /// solver options — the RPC front-end guarantees this by construction (the
+  /// wire exposes exactly the key fields; options stay at their defaults).
+  bool coalesce = false;
 };
 
 /// Stateful serving engine over a GraphRegistry: callers submit
@@ -128,8 +150,33 @@ class Engine {
   /// it. The graph snapshot is taken here, at submit time: a graph evicted
   /// (or replaced under the same id) afterwards still serves this request
   /// from the submitted snapshot — an unknown id fails the future with
-  /// NotFound immediately, without occupying a session.
+  /// NotFound immediately, without occupying a session, and a full engine
+  /// (EngineOptions::max_pending) fails it with ResourceExhausted the same
+  /// way. The future ALWAYS completes: a solve that returns a non-OK Status
+  /// resolves with that Status, and a solve that throws resolves by
+  /// re-throwing from future.get() (promise->set_exception) — callers never
+  /// hang on a failed request, and the session worker survives to serve the
+  /// next one.
   std::future<Result<SolveResponse>> Submit(SolveRequest request);
+
+  /// Completion callback of the callback submission form. Invoked exactly
+  /// once, on a session worker thread, after the solve finishes — a solve
+  /// that throws surfaces as StatusCode::kInternal here (callbacks have no
+  /// exception channel). Must not block for long: it runs on the worker
+  /// that would otherwise start the next solve.
+  using SolveCallback = std::function<void(const Result<SolveResponse>&)>;
+
+  /// Bounded, coalescing, callback submission — the RPC front-end's entry
+  /// point. Returns OK iff the request was admitted (the callback will fire
+  /// exactly once); otherwise returns the rejection — NotFound for an
+  /// unknown id, ResourceExhausted when `max_pending` accepted solves are
+  /// already in flight — and the callback never fires. With
+  /// `options.coalesce`, a request identical to an in-flight coalescable
+  /// solve (same graph_id/mode/algorithm/effective k/warm_start) joins that
+  /// solve: its callback receives the shared response, no new work is
+  /// queued, and coalesced() ticks instead of completed().
+  Status TrySubmit(SolveRequest request, SolveCallback done,
+                   const SubmitOptions& options = {});
 
   /// Convenience: enqueue a whole batch, futures in request order.
   std::vector<std::future<Result<SolveResponse>>> SubmitBatch(
@@ -142,7 +189,24 @@ class Engine {
   void Drain();
 
   int num_sessions() const { return queue_.num_workers(); }
+  /// Requests that finished a physical solve — successful, failed-Status,
+  /// and thrown alike (a finished request is a finished request; callers
+  /// that care about success inspect their own result). Coalesced joins do
+  /// not count here: they never ran a solve of their own.
   int64_t completed() const;
+  /// Accepted-but-unfinished physical solves (the admission counter).
+  int64_t pending() const;
+  /// Requests served by joining another request's in-flight solve.
+  int64_t coalesced() const;
+
+  /// Test-only fault/latency injection: when set, runs at the top of every
+  /// physical solve task on the session worker, before the solve. Tests
+  /// block in it (to observe queue depth and coalescing deterministically)
+  /// or throw from it (to exercise the exception path). Set it before
+  /// serving traffic; it is read unsynchronized on the workers.
+  void SetSolveHookForTest(std::function<void(const SolveRequest&)> hook) {
+    solve_hook_ = std::move(hook);
+  }
 
  private:
   /// Per-session reusable state; index = session worker id. The sharded
@@ -158,6 +222,20 @@ class Engine {
   Result<SolveResponse> Run(const SolveRequest& request,
                             const GraphEntry& entry, SessionWorkspace* ws);
 
+  /// Run with every escape hatch closed: the test hook and the solve run
+  /// under a catch-all; a thrown exception comes back through `thrown`
+  /// (result is then a placeholder Internal status). Never throws.
+  Result<SolveResponse> RunGuarded(const SolveRequest& request,
+                                   const GraphEntry& entry,
+                                   SessionWorkspace* ws,
+                                   std::exception_ptr* thrown);
+
+  /// One physical in-flight solve that coalesced joiners attach to.
+  struct Flight {
+    bool warm_start = false;      ///< leader's flag; joiners must match
+    std::vector<SolveCallback> joiners;  ///< under inflight_mutex_
+  };
+
   GraphRegistry* registry_;
   /// Warm-start bank: last solve's weights + Ritz vectors per
   /// (graph_id, mode, algorithm, k); read when a request sets warm_start,
@@ -167,8 +245,17 @@ class Engine {
   /// Dropped on EvictGraph.
   SolveCache cache_;
   bool warm_cache_ = true;
+  int64_t max_pending_ = 0;
   std::vector<SessionWorkspace> workspaces_;
   std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> pending_{0};
+  std::atomic<int64_t> coalesced_{0};
+  std::function<void(const SolveRequest&)> solve_hook_;
+  /// Coalescable in-flight solves by cache key; admission (pending_ vs
+  /// max_pending_) is decided under this mutex too, so a join-or-admit
+  /// decision is atomic with respect to flight completion.
+  std::mutex inflight_mutex_;
+  std::map<SolveCache::Key, std::shared_ptr<Flight>> inflight_;
   util::TaskQueue queue_;  ///< declared last: destroyed (drained) first
 };
 

@@ -1,6 +1,8 @@
 #include "util/task_queue.h"
 
 #include <algorithm>
+#include <exception>
+#include <iostream>
 #include <memory>
 #include <utility>
 
@@ -82,6 +84,11 @@ void TaskQueue::RunBatch(int64_t count,
   state->done_cv.wait(lock, [&state] { return state->done == state->count; });
 }
 
+size_t TaskQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + static_cast<size_t>(active_);
+}
+
 void TaskQueue::Drain() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
@@ -100,7 +107,19 @@ void TaskQueue::WorkerLoop(int worker) {
       queue_.pop_front();
       ++active_;
     }
-    task(worker);
+    // Last-resort exception guard: an escaping exception would otherwise
+    // std::terminate the worker thread and silently shrink the queue's
+    // capacity forever. Callers with futures/callbacks catch their own
+    // errors; anything that still gets here is logged and dropped.
+    try {
+      task(worker);
+    } catch (const std::exception& e) {
+      std::cerr << "[TaskQueue] task threw: " << e.what()
+                << " (worker " << worker << " continues)" << std::endl;
+    } catch (...) {
+      std::cerr << "[TaskQueue] task threw a non-std exception (worker "
+                << worker << " continues)" << std::endl;
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;

@@ -23,6 +23,13 @@ namespace util {
 /// Ordering: tasks start in FIFO order, but with more than one worker they
 /// overlap and may finish out of order. The destructor drains the queue
 /// (every submitted task runs) before joining the workers.
+///
+/// Exception safety: a task that lets an exception escape does NOT take its
+/// worker (or the process) down — the worker logs the exception to stderr
+/// and moves on to the next task. Tasks that care about their errors must
+/// catch them themselves and route them somewhere useful (serve::Engine
+/// resolves the caller's promise); the worker-level catch is a last-resort
+/// guard so one bad request can never wedge the whole queue.
 class TaskQueue {
  public:
   using Task = std::function<void(int worker)>;
@@ -38,6 +45,13 @@ class TaskQueue {
   /// Enqueues a task; returns immediately. Must not be called after the
   /// destructor has begun.
   void Submit(Task task);
+
+  /// Tasks submitted but not yet finished: queued + currently running.
+  /// A snapshot — with concurrent submitters/workers it is stale the moment
+  /// it returns. Admission-control callers (serve::Engine) keep their own
+  /// accepted-work counter for the actual bound and use this only for
+  /// introspection.
+  size_t pending() const;
 
   /// Runs fn(0) .. fn(count - 1) across the queue workers, with the caller
   /// claiming jobs alongside them, and returns once all `count` jobs have
@@ -56,7 +70,7 @@ class TaskQueue {
  private:
   void WorkerLoop(int worker);
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_cv_;  ///< workers wait for tasks / shutdown
   std::condition_variable idle_cv_;  ///< Drain waits for empty + idle
   std::deque<Task> queue_;

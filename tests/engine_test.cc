@@ -367,6 +367,85 @@ TEST(EngineTest, EvictedGraphRejectsNewButFinishesInFlightWork) {
   ExpectResponseMatchesReference(*response2, reference2);
 }
 
+TEST(EngineErrorPathTest, FailedStatusResolvesTheFutureWithoutHanging) {
+  const GraphFixture f = GraphFixture::Make(120, 3, 13);
+  serve::GraphRegistry registry;
+  ASSERT_TRUE(registry.Register("g", f.mvag).ok());
+  serve::EngineOptions options;
+  options.num_sessions = 1;
+  serve::Engine engine(&registry, options);
+
+  serve::SolveRequest bad;
+  bad.graph_id = "g";
+  bad.k = 1;  // the solver requires k >= 2
+  auto future = engine.Submit(bad);
+  auto result = future.get();  // must resolve, not hang
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // completed() counts finished solves, successful or not.
+  EXPECT_EQ(engine.completed(), 1);
+
+  serve::SolveRequest good;
+  good.graph_id = "g";
+  EXPECT_TRUE(engine.Solve(good).ok());  // the worker survived
+}
+
+TEST(EngineErrorPathTest, ThrowingSolveRethrowsFromFutureAndWorkerSurvives) {
+  const GraphFixture f = GraphFixture::Make(120, 3, 13);
+  serve::GraphRegistry registry;
+  ASSERT_TRUE(registry.Register("g", f.mvag).ok());
+  serve::EngineOptions options;
+  options.num_sessions = 1;
+  serve::Engine engine(&registry, options);
+
+  std::atomic<bool> explode{true};
+  engine.SetSolveHookForTest([&explode](const serve::SolveRequest&) {
+    if (explode.exchange(false)) throw std::runtime_error("injected fault");
+  });
+
+  serve::SolveRequest request;
+  request.graph_id = "g";
+  auto future = engine.Submit(request);
+  EXPECT_THROW(future.get(), std::runtime_error);
+  EXPECT_EQ(engine.completed(), 1);  // a thrown solve still "finished"
+
+  // Drain must return even though the only solve so far blew up, and the
+  // sole session worker must be alive to run the next request.
+  engine.Drain();
+  auto retry = engine.Solve(request);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST(EngineErrorPathTest, TrySubmitCallbackSeesInternalOnThrow) {
+  const GraphFixture f = GraphFixture::Make(120, 3, 13);
+  serve::GraphRegistry registry;
+  ASSERT_TRUE(registry.Register("g", f.mvag).ok());
+  serve::EngineOptions options;
+  options.num_sessions = 1;
+  serve::Engine engine(&registry, options);
+
+  engine.SetSolveHookForTest([](const serve::SolveRequest&) {
+    throw std::runtime_error("injected fault");
+  });
+
+  std::promise<Status> delivered;
+  serve::SolveRequest request;
+  request.graph_id = "g";
+  ASSERT_TRUE(engine
+                  .TrySubmit(request,
+                             [&delivered](
+                                 const Result<serve::SolveResponse>& result) {
+                               delivered.set_value(result.status());
+                             })
+                  .ok());
+  // Callbacks have no exception channel: the throw surfaces as kInternal
+  // with the what() text, exactly once.
+  const Status status = delivered.get_future().get();
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("injected fault"), std::string::npos);
+  engine.Drain();
+}
+
 TEST(EngineAllocationTest, SteadyStateObjectiveEvaluationsAllocateNothing) {
   // n > 512 so SpMV/aggregation actually dispatch multi-chunk jobs through
   // the pool in the threaded sweep (the raw-pointer dispatch path).

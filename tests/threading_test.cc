@@ -5,7 +5,10 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
+#include <future>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -20,6 +23,7 @@
 #include "la/dense.h"
 #include "la/sparse.h"
 #include "util/rng.h"
+#include "util/task_queue.h"
 #include "util/thread_pool.h"
 
 namespace sgla {
@@ -385,6 +389,38 @@ TEST(RngTest, UniformIntChiSquaredUnbiased) {
   // a 1.5x excess on the lowest ~2.4% of the span, which lands this
   // statistic in the high hundreds at these draw counts.
   EXPECT_LT(chi2, 35.0);
+}
+
+TEST(TaskQueueTest, WorkerSurvivesThrowingTask) {
+  util::TaskQueue queue(1);
+  // The throwing task and the follow-up land on the same (sole) worker: if
+  // the throw killed it, the second future would never resolve.
+  queue.Submit([](int) { throw std::runtime_error("boom"); });
+  std::promise<int> alive;
+  auto future = alive.get_future();
+  queue.Submit([&alive](int worker) { alive.set_value(worker); });
+  EXPECT_EQ(future.get(), 0);
+}
+
+TEST(TaskQueueTest, PendingCountsQueuedAndRunningTasks) {
+  util::TaskQueue queue(1);
+  EXPECT_EQ(queue.pending(), 0u);
+
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::promise<void> started;
+  queue.Submit([&started, gate](int) {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();  // first task is now *running*
+  queue.Submit([gate](int) { gate.wait(); });
+  queue.Submit([gate](int) { gate.wait(); });
+  EXPECT_EQ(queue.pending(), 3u);  // 1 running + 2 queued
+
+  release.set_value();
+  // pending() is a snapshot: poll it down to the drained state.
+  while (queue.pending() != 0) std::this_thread::yield();
 }
 
 TEST(RngTest, UniformIntSmallSpanExactBounds) {

@@ -1,0 +1,280 @@
+// Closed-loop RPC load generator: spins up an in-process Engine + Server on
+// a loopback socket, registers a synthetic fixture graph, then drives it
+// with N concurrent closed-loop clients (each sends the next request the
+// moment the previous reply lands — classic closed-loop load, so offered
+// load adapts to service rate instead of overrunning it). Per-request
+// latencies are recorded and summarized as p50/p95/p99 into a JSON report
+// that scripts/perf_gate.py --latency gates in CI.
+//
+// Traffic mix: most requests share one coalescable key (the serving sweet
+// spot this PR optimizes — identical in-flight solves collapse into one
+// physical solve), a slice uses per-client distinct k to force physical
+// solves, and a slice sends an invalid request to keep the typed-error path
+// hot. RESOURCE_EXHAUSTED replies count as `rejected` (expected under
+// saturation, gated separately from `errors`).
+//
+// The report carries a `sanitizer` tag; sanitizer-built numbers are 10-50x
+// off and must never become a latency baseline — perf_gate.py refuses them.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generator.h"
+#include "rpc/client.h"
+#include "rpc/messages.h"
+#include "rpc/server.h"
+#include "serve/engine.h"
+#include "serve/graph_registry.h"
+#include "util/rng.h"
+
+namespace {
+
+const char* SanitizerTag() {
+#if defined(__SANITIZE_ADDRESS__)
+  return "address";
+#elif defined(__SANITIZE_THREAD__)
+  return "thread";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return "address";
+#elif __has_feature(thread_sanitizer)
+  return "thread";
+#else
+  return "none";
+#endif
+#else
+  return "none";
+#endif
+}
+
+struct Options {
+  int clients = 8;
+  int requests_per_client = 40;
+  int64_t graph_nodes = 400;
+  int num_clusters = 3;
+  int num_sessions = 2;
+  int64_t engine_max_pending = 64;
+  int64_t tenant_max_inflight = 0;  // off by default: gate latency, not quota
+  bool coalesce = true;
+  std::string out = "BENCH_rpc.json";
+};
+
+bool ParseInt(const char* value, int64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoll(value, &end, 10);
+  return end != value && *end == '\0';
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "Usage: sgla_loadgen [--clients N] [--requests N] [--nodes N]\n"
+      "                    [--sessions N] [--max-pending N] [--no-coalesce]\n"
+      "                    [--out PATH]\n");
+}
+
+int64_t Percentile(const std::vector<int64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<size_t>(rank + 0.5)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using sgla::rpc::Client;
+  using sgla::rpc::SolveWireRequest;
+
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    int64_t value = 0;
+    auto next_int = [&](int64_t* out) {
+      return i + 1 < argc && ParseInt(argv[++i], out);
+    };
+    if (arg == "--clients" && next_int(&value)) {
+      options.clients = static_cast<int>(value);
+    } else if (arg == "--requests" && next_int(&value)) {
+      options.requests_per_client = static_cast<int>(value);
+    } else if (arg == "--nodes" && next_int(&value)) {
+      options.graph_nodes = value;
+    } else if (arg == "--sessions" && next_int(&value)) {
+      options.num_sessions = static_cast<int>(value);
+    } else if (arg == "--max-pending" && next_int(&value)) {
+      options.engine_max_pending = value;
+    } else if (arg == "--no-coalesce") {
+      options.coalesce = false;
+    } else if (arg == "--out" && i + 1 < argc) {
+      options.out = argv[++i];
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  // In-process serving stack on an ephemeral loopback port.
+  sgla::serve::GraphRegistry registry;
+  sgla::serve::EngineOptions engine_options;
+  engine_options.num_sessions = options.num_sessions;
+  engine_options.max_pending = options.engine_max_pending;
+  sgla::serve::Engine engine(&registry, engine_options);
+  sgla::rpc::ServerOptions server_options;
+  server_options.tenant_max_inflight = options.tenant_max_inflight;
+  sgla::rpc::Server server(&engine, server_options);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "loadgen: server failed to start\n");
+    return 1;
+  }
+
+  {
+    sgla::Rng rng(17);
+    std::vector<int32_t> labels = sgla::data::BalancedLabels(
+        options.graph_nodes, options.num_clusters, &rng);
+    sgla::core::MultiViewGraph mvag(options.graph_nodes,
+                                    options.num_clusters);
+    mvag.AddGraphView(
+        sgla::data::SbmGraph(labels, options.num_clusters, 0.10, 0.01, &rng));
+    mvag.AddAttributeView(sgla::data::GaussianAttributes(
+        labels, options.num_clusters, 8, 3.0, 0.9, &rng));
+    Client client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) {
+      std::fprintf(stderr, "loadgen: register connect failed\n");
+      return 1;
+    }
+    sgla::rpc::RegisterRequest request;
+    request.id = "load";
+    request.mvag = mvag;
+    auto reply = client.Register(request);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "loadgen: register failed: %s\n",
+                   reply.status().ToString().c_str());
+      return 1;
+    }
+    // One warm-up solve so client latencies measure steady-state serving,
+    // not first-touch workspace construction.
+    SolveWireRequest warmup;
+    warmup.graph_id = "load";
+    if (!client.Solve(warmup).ok()) {
+      std::fprintf(stderr, "loadgen: warm-up solve failed\n");
+      return 1;
+    }
+  }
+
+  std::vector<std::vector<int64_t>> latencies(
+      static_cast<size_t>(options.clients));
+  std::atomic<int64_t> ok_count{0};
+  std::atomic<int64_t> rejected_count{0};
+  std::atomic<int64_t> error_count{0};
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < options.clients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client
+               .Connect("127.0.0.1", server.port(),
+                        "tenant-" + std::to_string(c % 4))
+               .ok()) {
+        error_count += options.requests_per_client;
+        return;
+      }
+      auto& local = latencies[static_cast<size_t>(c)];
+      local.reserve(static_cast<size_t>(options.requests_per_client));
+      for (int s = 0; s < options.requests_per_client; ++s) {
+        SolveWireRequest request;
+        request.graph_id = "load";
+        request.coalesce = options.coalesce;
+        if (s % 8 == 6) {
+          // Distinct per-client key: a guaranteed-physical solve.
+          request.k = 2 + (c % 2);
+        } else if (s % 8 == 7) {
+          request.k = 1;  // invalid: keeps the typed-error path hot
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        auto reply = client.Solve(request);
+        const auto t1 = std::chrono::steady_clock::now();
+        local.push_back(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count());
+        if (reply.ok()) {
+          ++ok_count;
+        } else if (reply.status().code() ==
+                   sgla::StatusCode::kResourceExhausted) {
+          ++rejected_count;
+        } else if (s % 8 == 7 &&
+                   reply.status().code() ==
+                       sgla::StatusCode::kInvalidArgument) {
+          ++ok_count;  // the injected invalid request got its typed reply
+        } else {
+          ++error_count;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+
+  std::vector<int64_t> all;
+  for (const auto& local : latencies) {
+    all.insert(all.end(), local.begin(), local.end());
+  }
+  std::sort(all.begin(), all.end());
+  const int64_t total = static_cast<int64_t>(all.size());
+  const double rps =
+      elapsed_ms > 0 ? static_cast<double>(total) * 1000.0 / elapsed_ms : 0;
+
+  std::ofstream out(options.out);
+  if (!out) {
+    std::fprintf(stderr, "loadgen: cannot write %s\n", options.out.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"kind\": \"sgla_rpc_loadgen\",\n"
+      << "  \"sanitizer\": \"" << SanitizerTag() << "\",\n"
+      << "  \"clients\": " << options.clients << ",\n"
+      << "  \"requests_per_client\": " << options.requests_per_client
+      << ",\n"
+      << "  \"coalesce\": " << (options.coalesce ? "true" : "false") << ",\n"
+      << "  \"requests\": " << total << ",\n"
+      << "  \"ok\": " << ok_count.load() << ",\n"
+      << "  \"rejected\": " << rejected_count.load() << ",\n"
+      << "  \"errors\": " << error_count.load() << ",\n"
+      << "  \"elapsed_ms\": " << elapsed_ms << ",\n"
+      << "  \"rps\": " << rps << ",\n"
+      << "  \"solves_completed\": " << engine.completed() << ",\n"
+      << "  \"solves_coalesced\": " << engine.coalesced() << ",\n"
+      << "  \"latency_ns\": {\n"
+      << "    \"p50\": " << Percentile(all, 0.50) << ",\n"
+      << "    \"p95\": " << Percentile(all, 0.95) << ",\n"
+      << "    \"p99\": " << Percentile(all, 0.99) << "\n"
+      << "  }\n"
+      << "}\n";
+  out.close();
+
+  std::printf(
+      "loadgen: %lld requests (%lld ok, %lld rejected, %lld errors) in "
+      "%.1f ms (%.0f rps)\n",
+      static_cast<long long>(total),
+      static_cast<long long>(ok_count.load()),
+      static_cast<long long>(rejected_count.load()),
+      static_cast<long long>(error_count.load()), elapsed_ms, rps);
+  std::printf(
+      "loadgen: p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  "
+      "(physical solves %lld, coalesced %lld)\n",
+      Percentile(all, 0.50) / 1e6, Percentile(all, 0.95) / 1e6,
+      Percentile(all, 0.99) / 1e6,
+      static_cast<long long>(engine.completed()),
+      static_cast<long long>(engine.coalesced()));
+  std::printf("loadgen: wrote %s\n", options.out.c_str());
+  return error_count.load() == 0 ? 0 : 1;
+}
