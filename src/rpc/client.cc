@@ -85,10 +85,12 @@ Status Client::Connect(const std::string& host, int port,
 Status Client::WriteAll(const uint8_t* data, size_t size) {
   size_t written = 0;
   while (written < size) {
-    const ssize_t n = write(fd_, data + written, size - written);
+    // MSG_NOSIGNAL: a server that hung up must surface as an EPIPE Status,
+    // not a SIGPIPE that kills the whole client process.
+    const ssize_t n = send(fd_, data + written, size - written, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return Errno("write");
+      return Errno("send");
     }
     written += static_cast<size_t>(n);
   }

@@ -43,10 +43,10 @@ bool DecodeMvag(WireReader* r, core::MultiViewGraph* mvag) {
   *mvag = core::MultiViewGraph(num_nodes, num_clusters);
   for (uint32_t v = 0; v < num_graph_views; ++v) {
     uint64_t num_edges;
-    if (!r->U64(&num_edges)) return false;
+    // 24 wire bytes per edge: a count the remaining payload cannot hold is
+    // provably hostile/truncated — reject it before reserve() can allocate.
+    if (!r->U64(&num_edges) || !r->CheckCount(num_edges, 24)) return false;
     std::vector<graph::Edge> edges;
-    // 24 wire bytes per edge: a hostile count cannot outsize the payload.
-    if (num_edges > (1u << 31)) return false;
     edges.reserve(num_edges);
     for (uint64_t e = 0; e < num_edges; ++e) {
       graph::Edge edge;
@@ -100,26 +100,35 @@ void EncodeDelta(const serve::GraphDelta& delta, WireWriter* w) {
 }
 
 bool DecodeDelta(WireReader* r, serve::GraphDelta* delta) {
+  // Every count below sizes a resize(), so each is bounds-checked against
+  // the bytes its elements minimally occupy on the wire (view deltas: i32
+  // view + two u64 counts = 20; upserts: 24; removals: 16; attribute rows:
+  // i32 view + i64 row + u64 count = 20) before any allocation happens.
   uint32_t num_graph_views;
-  if (!r->U32(&num_graph_views)) return false;
+  if (!r->U32(&num_graph_views) || !r->CheckCount(num_graph_views, 20)) {
+    return false;
+  }
   delta->graph_views.resize(num_graph_views);
   for (serve::GraphViewDelta& g : delta->graph_views) {
     uint64_t count;
-    if (!r->I32(&g.view) || !r->U64(&count) || count > (1u << 31)) {
+    if (!r->I32(&g.view) || !r->U64(&count) || !r->CheckCount(count, 24)) {
       return false;
     }
     g.upserts.resize(count);
     for (serve::EdgeUpsert& u : g.upserts) {
       if (!r->I64(&u.u) || !r->I64(&u.v) || !r->F64(&u.weight)) return false;
     }
-    if (!r->U64(&count) || count > (1u << 31)) return false;
+    if (!r->U64(&count) || !r->CheckCount(count, 16)) return false;
     g.removals.resize(count);
     for (serve::EdgeRemoval& rm : g.removals) {
       if (!r->I64(&rm.u) || !r->I64(&rm.v)) return false;
     }
   }
   uint32_t num_attribute_rows;
-  if (!r->U32(&num_attribute_rows)) return false;
+  if (!r->U32(&num_attribute_rows) ||
+      !r->CheckCount(num_attribute_rows, 20)) {
+    return false;
+  }
   delta->attribute_rows.resize(num_attribute_rows);
   for (serve::AttributeRowUpdate& a : delta->attribute_rows) {
     if (!r->I32(&a.view) || !r->I64(&a.row) || !r->F64Vec(&a.values)) {

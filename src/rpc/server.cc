@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "rpc/messages.h"
@@ -118,6 +119,8 @@ void Server::Shutdown() {
 
 void Server::Loop() {
   bool listener_open = true;
+  bool drain_deadline_armed = false;
+  std::chrono::steady_clock::time_point drain_deadline;
   epoll_event events[64];
   for (;;) {
     // The timeout bounds the drain-condition re-check (a completion can be
@@ -158,6 +161,26 @@ void Server::Loop() {
         close(listen_fd_);
         listen_fd_ = -1;
         listener_open = false;
+        if (options_.drain_timeout_ms > 0) {
+          drain_deadline =
+              std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(options_.drain_timeout_ms);
+          drain_deadline_armed = true;
+        }
+      }
+      if (drain_deadline_armed &&
+          std::chrono::steady_clock::now() >= drain_deadline) {
+        // The deadline only abandons peers that will not take their bytes;
+        // engine work already in flight is still awaited below (it is
+        // bounded by solve time, unlike a reader that never reads).
+        std::vector<uint64_t> stalled;
+        for (const auto& [id, conn] : connections_) {
+          if (conn->fd >= 0 && !conn->out.empty()) stalled.push_back(id);
+        }
+        for (uint64_t id : stalled) {
+          auto it = connections_.find(id);
+          if (it != connections_.end()) CloseConnection(it->second.get());
+        }
       }
       if (DrainComplete()) break;
     }
@@ -191,6 +214,10 @@ void Server::AcceptNew() {
     if (fd < 0) return;  // EAGAIN or transient error; epoll re-arms us
     const int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.send_buffer_bytes > 0) {
+      setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.send_buffer_bytes,
+                 sizeof(options_.send_buffer_bytes));
+    }
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->id = next_connection_id_++;
@@ -221,8 +248,10 @@ void Server::HandleRead(Connection* conn) {
 }
 
 void Server::ParseFrames(Connection* conn) {
+  const uint64_t id = conn->id;
   size_t offset = 0;
-  while (conn->fd >= 0 && conn->in.size() - offset >= kFrameHeaderBytes) {
+  while (conn != nullptr && conn->fd >= 0 &&
+         conn->in.size() - offset >= kFrameHeaderBytes) {
     FrameHeader header;
     if (!DecodeFrameHeader(conn->in.data() + offset, &header)) {
       // Unknown type or oversized payload: framing is lost — drop the
@@ -237,8 +266,13 @@ void Server::ParseFrames(Connection* conn) {
     DispatchFrame(conn, header, conn->in.data() + offset + kFrameHeaderBytes,
                   header.payload_length);
     offset += kFrameHeaderBytes + header.payload_length;
+    // Dispatching can close — and, when no completions are owed, destroy —
+    // the connection through a failed reply write (SendNow -> TryFlush ->
+    // CloseConnection). Re-resolve by id before touching it again.
+    auto it = connections_.find(id);
+    conn = it == connections_.end() ? nullptr : it->second.get();
   }
-  if (conn->fd >= 0 && offset > 0) {
+  if (conn != nullptr && conn->fd >= 0 && offset > 0) {
     conn->in.erase(conn->in.begin(),
                    conn->in.begin() + static_cast<ptrdiff_t>(offset));
   }
@@ -391,8 +425,13 @@ void Server::DispatchControl(Connection* conn, const FrameHeader& header,
   control_queue_.Submit([this, type, request_id, connection_id, tenant,
                          body](int) {
     std::vector<uint8_t> frame;
-    WireReader r(body->data(), body->size());
-    switch (type) {
+    // An escaping exception (e.g. bad_alloc while materializing a huge
+    // registration) would leak the quota slot and the inflight count — and
+    // a leaked inflight count hangs Shutdown() forever. Catch everything
+    // and answer with a typed error instead.
+    try {
+      WireReader r(body->data(), body->size());
+      switch (type) {
       case FrameType::kRegister: {
         RegisterRequest request;
         if (!DecodeRegisterRequest(&r, &request)) {
@@ -454,6 +493,12 @@ void Server::DispatchControl(Connection* conn, const FrameHeader& header,
       default:
         frame = BuildErrorFrame(request_id, Internal("bad control dispatch"));
         break;
+      }
+    } catch (const std::exception& e) {
+      frame = BuildErrorFrame(
+          request_id, Internal(std::string("control op failed: ") + e.what()));
+    } catch (...) {
+      frame = BuildErrorFrame(request_id, Internal("control op failed"));
     }
     quota_.Release(tenant);
     PostCompletion(connection_id, std::move(frame));
@@ -500,15 +545,31 @@ void Server::DeliverCompletions() {
 }
 
 void Server::SendNow(Connection* conn, std::vector<uint8_t> frame) {
+  conn->out_bytes += frame.size();
   conn->out.push_back(std::move(frame));
+  const uint64_t id = conn->id;
   TryFlush(conn);
+  // TryFlush may have closed (and, with no completions owed, destroyed) the
+  // connection on a write error — re-resolve before the backlog check.
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  conn = it->second.get();
+  if (options_.max_connection_backlog_bytes > 0 && conn->fd >= 0 &&
+      static_cast<int64_t>(conn->out_bytes) >
+          options_.max_connection_backlog_bytes) {
+    // The peer is not draining its replies; queued bytes per connection are
+    // bounded, so cut it loose rather than grow server memory on its behalf.
+    CloseConnection(conn);
+  }
 }
 
 void Server::TryFlush(Connection* conn) {
   while (!conn->out.empty()) {
     const std::vector<uint8_t>& front = conn->out.front();
-    const ssize_t n = write(conn->fd, front.data() + conn->out_offset,
-                            front.size() - conn->out_offset);
+    // MSG_NOSIGNAL: a peer that resets mid-reply must surface as EPIPE, not
+    // a process-killing SIGPIPE.
+    const ssize_t n = send(conn->fd, front.data() + conn->out_offset,
+                           front.size() - conn->out_offset, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         SetWantWrite(conn, true);
@@ -518,6 +579,7 @@ void Server::TryFlush(Connection* conn) {
       return;
     }
     conn->out_offset += static_cast<size_t>(n);
+    conn->out_bytes -= static_cast<size_t>(n);
     if (conn->out_offset == front.size()) {
       conn->out.pop_front();
       conn->out_offset = 0;
@@ -544,6 +606,7 @@ void Server::CloseConnection(Connection* conn) {
   }
   conn->out.clear();
   conn->out_offset = 0;
+  conn->out_bytes = 0;
   conn->in.clear();
   if (conn->inflight == 0) connections_.erase(conn->id);
   // else: zombie until DeliverCompletions reaps it.

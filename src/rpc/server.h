@@ -36,6 +36,22 @@ struct ServerOptions {
   /// to run physically — the A/B switch the load generator uses to
   /// demonstrate coalescing.
   bool allow_coalescing = true;
+  /// Drain deadline for Shutdown(): once it elapses, connections whose
+  /// peers will not take their remaining reply bytes are force-closed so
+  /// Shutdown() cannot block forever on a stalled reader. In-flight engine
+  /// work is always awaited (it is bounded by solve time); only the socket
+  /// drain is subject to the deadline. <= 0 waits indefinitely.
+  int drain_timeout_ms = 5000;
+  /// Per-connection cap on reply bytes queued in userspace because the peer
+  /// is not reading. A connection exceeding it is closed — a client that
+  /// fires solves and never drains replies must not grow server memory
+  /// without bound. Must comfortably exceed the largest reply frame
+  /// (payloads are capped at 256 MiB). <= 0 disables the cap.
+  int64_t max_connection_backlog_bytes = int64_t{512} << 20;
+  /// SO_SNDBUF for accepted sockets; 0 = OS default. Small values make the
+  /// kernel buffer fill quickly so backlog/drain behavior is observable —
+  /// used by tests; production keeps the default.
+  int send_buffer_bytes = 0;
 };
 
 /// Epoll-based binary-framed RPC front-end over a serve::Engine: one event-
@@ -50,7 +66,10 @@ struct ServerOptions {
 /// already received keep being processed to completion, frames arriving
 /// during the drain get a typed FAILED_PRECONDITION reply, and the loop
 /// exits only after every accepted request's reply has been handed to the
-/// socket layer — an accepted request is never silently dropped.
+/// socket layer — an accepted request is never silently dropped. The one
+/// exception is a peer that stops reading its replies: after
+/// ServerOptions::drain_timeout_ms its connection is force-closed so a
+/// stalled reader cannot pin Shutdown() forever.
 class Server {
  public:
   /// `engine` must outlive the server. The engine's own options decide
@@ -86,6 +105,7 @@ class Server {
     std::vector<uint8_t> in;                ///< unparsed inbound bytes
     std::deque<std::vector<uint8_t>> out;   ///< frames awaiting write
     size_t out_offset = 0;                  ///< into out.front()
+    size_t out_bytes = 0;  ///< total bytes across out (backlog accounting)
     int64_t inflight = 0;  ///< async requests awaiting their completion
     bool want_write = false;                ///< EPOLLOUT registered
   };

@@ -111,13 +111,16 @@ class WireReader {
   /// True iff every byte was consumed and no read failed.
   bool Finish() const { return ok_ && offset_ == size_; }
 
+  /// Guards count-prefixed containers: a hostile count must not drive a
+  /// multi-GiB resize/reserve before the bounds check catches it. Each
+  /// element is at least `elem_bytes` on the wire, so count >
+  /// remaining/elem_bytes is provably truncated. Poisons the reader on
+  /// failure like every other accessor. Decoders that size containers from
+  /// a count they read themselves (messages.cc) must call this first.
+  bool CheckCount(uint64_t count, size_t elem_bytes);
+
  private:
   bool Take(size_t n, const uint8_t** out);
-  /// Guards count-prefixed containers: a hostile count must not drive a
-  /// multi-GiB resize before the bounds check catches it. Each element is
-  /// at least `elem_bytes` on the wire, so count > remaining/elem_bytes is
-  /// provably truncated.
-  bool CheckCount(uint64_t count, size_t elem_bytes);
 
   const uint8_t* data_;
   size_t size_;

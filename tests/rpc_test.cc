@@ -7,11 +7,13 @@
 // or throwing solve produces a typed reply and the worker survives), and
 // graceful drain (every accepted request is answered across Shutdown).
 #include <arpa/inet.h>
+#include <errno.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
@@ -267,6 +269,61 @@ TEST(MessagesTest, SolveMessagesRoundTripAndValidateEnums) {
   EXPECT_EQ(decoded.warm_started, reply.warm_started);
   EXPECT_EQ(decoded.lanczos_iterations, reply.lanczos_iterations);
   EXPECT_EQ(decoded.labels, reply.labels);
+}
+
+TEST(MessagesTest, HostileCountsInRegisterAndUpdateAreRejectedNotAllocated) {
+  // Counts chosen below every legacy 2^31 sanity cap but far beyond what the
+  // payload holds: the decoders must bound them against the remaining bytes
+  // BEFORE any reserve/resize, or a single crafted frame drives a ~48 GiB
+  // allocation on the control worker.
+  constexpr uint64_t kHostile = (1ULL << 31) - 1;
+  {  // Register: hostile edge count
+    WireWriter w;
+    w.Str("g");
+    w.I32(1);  // shards
+    w.U8(1);   // updatable
+    w.I32(0);  // knn_k
+    w.I64(100);  // num_nodes
+    w.I32(3);    // num_clusters
+    w.U32(1);    // one graph view
+    w.U64(kHostile);
+    std::vector<uint8_t> buffer = w.TakeBuffer();
+    WireReader r(buffer.data(), buffer.size());
+    RegisterRequest decoded;
+    EXPECT_FALSE(DecodeRegisterRequest(&r, &decoded));
+  }
+  {  // Update: hostile outer view-delta count sizes a resize directly
+    WireWriter w;
+    w.Str("g");
+    w.U32(0xffffffffu);
+    std::vector<uint8_t> buffer = w.TakeBuffer();
+    WireReader r(buffer.data(), buffer.size());
+    UpdateRequest decoded;
+    EXPECT_FALSE(DecodeUpdateRequest(&r, &decoded));
+  }
+  {  // Update: hostile upsert count inside one view delta
+    WireWriter w;
+    w.Str("g");
+    w.U32(1);  // one view delta
+    w.I32(0);  // view
+    w.U64(kHostile);
+    std::vector<uint8_t> buffer = w.TakeBuffer();
+    WireReader r(buffer.data(), buffer.size());
+    UpdateRequest decoded;
+    EXPECT_FALSE(DecodeUpdateRequest(&r, &decoded));
+  }
+  {  // Update: hostile removal count
+    WireWriter w;
+    w.Str("g");
+    w.U32(1);  // one view delta
+    w.I32(0);  // view
+    w.U64(0);  // no upserts
+    w.U64(kHostile);
+    std::vector<uint8_t> buffer = w.TakeBuffer();
+    WireReader r(buffer.data(), buffer.size());
+    UpdateRequest decoded;
+    EXPECT_FALSE(DecodeUpdateRequest(&r, &decoded));
+  }
 }
 
 TEST(MessagesTest, ErrorReplyCarriesTypedStatus) {
@@ -615,8 +672,12 @@ TEST_F(RpcServingTest, ShutdownDrainsAcceptedRequestsBeforeExiting) {
 
 // --- hostile bytes on a raw socket ------------------------------------------
 
-int RawConnect(int port) {
+int RawConnect(int port, int rcvbuf = 0) {
   int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (rcvbuf > 0) {
+    // Must be set before connect so the advertised window stays small.
+    setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  }
   sockaddr_in addr;
   memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
@@ -627,6 +688,31 @@ int RawConnect(int port) {
     return -1;
   }
   return fd;
+}
+
+/// Raw-fd write loop for tests; MSG_NOSIGNAL so a server-side hangup surfaces
+/// as a failed send instead of killing the test process.
+bool SendAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::vector<uint8_t> PingBurst(int count) {
+  std::vector<uint8_t> burst;
+  for (int i = 0; i < count; ++i) {
+    std::vector<uint8_t> frame =
+        BuildFrame(FrameType::kPing, static_cast<uint64_t>(i), WireWriter());
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  return burst;
 }
 
 bool ReadExactly(int fd, uint8_t* out, size_t size) {
@@ -675,6 +761,106 @@ TEST_F(RpcServingTest, MalformedPayloadGetsTypedErrorMalformedHeaderCloses) {
     uint8_t byte;
     EXPECT_FALSE(ReadExactly(fd, &byte, 1));  // EOF
   }
+  close(fd);
+}
+
+TEST_F(RpcServingTest, ClientWriteAfterServerGoneYieldsStatusNotSigpipe) {
+  StartServing({});
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  server_->Shutdown();
+  // The first post-shutdown send lands on a FIN'd socket (and draws an RST);
+  // the ones after that write into a reset socket — without MSG_NOSIGNAL the
+  // SIGPIPE would kill this whole process instead of returning a Status.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(client.Ping().ok());
+  }
+}
+
+TEST_F(RpcServingTest, PeerResetMidReplyStormIsSurvived) {
+  // A tiny server-side send buffer keeps reply writes happening throughout
+  // the dispatch loop, so a peer reset lands mid-ParseFrames: the failed
+  // send must close (and possibly destroy) the connection without the
+  // parse loop touching it again, and without raising SIGPIPE.
+  ServerOptions server_options;
+  server_options.send_buffer_bytes = 4096;
+  StartServing({}, server_options);
+
+  const std::vector<uint8_t> burst = PingBurst(2000);
+  for (int round = 0; round < 30; ++round) {
+    int fd = RawConnect(server_->port());
+    ASSERT_GE(fd, 0);
+    SendAll(fd, burst.data(), burst.size());
+    // Vary how far the server gets into the burst before the reset hits.
+    std::this_thread::sleep_for(std::chrono::microseconds(100 * (round % 10)));
+    struct linger hard_reset;
+    hard_reset.l_onoff = 1;
+    hard_reset.l_linger = 0;
+    setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_reset, sizeof(hard_reset));
+    close(fd);  // RST, not FIN
+  }
+  // The server survived every reset and its connection table is intact.
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(RpcServingTest, BacklogCapClosesPeerThatNeverReadsReplies) {
+  // Small kernel buffers on both sides so replies back up into conn->out
+  // quickly; the cap must then close the connection instead of letting a
+  // never-reading client grow server memory without bound.
+  ServerOptions server_options;
+  server_options.send_buffer_bytes = 4096;
+  server_options.max_connection_backlog_bytes = 64 * 1024;
+  StartServing({}, server_options);
+
+  int fd = RawConnect(server_->port(), /*rcvbuf=*/4096);
+  ASSERT_GE(fd, 0);
+  const std::vector<uint8_t> chunk = PingBurst(200);
+  bool closed_on_us = false;
+  // Pace the sends so the single event-loop thread gets turns to dispatch
+  // replies (on slow sanitizer runs an unpaced sender can stuff megabytes
+  // into conn->in before the first reply is even queued). Replies then back
+  // up into conn->out and the cap has to cut us off well within the budget.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!closed_on_us && std::chrono::steady_clock::now() < deadline) {
+    closed_on_us = !SendAll(fd, chunk.data(), chunk.size());
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(closed_on_us);
+  close(fd);
+
+  // Other connections are unaffected.
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST_F(RpcServingTest, ShutdownDeadlineAbandonsPeerThatNeverDrains) {
+  // A peer that keeps its connection open but never reads its replies must
+  // not pin Shutdown() forever: after drain_timeout_ms its connection is
+  // force-closed and the drain completes.
+  ServerOptions server_options;
+  server_options.send_buffer_bytes = 4096;
+  server_options.drain_timeout_ms = 300;
+  StartServing({}, server_options);
+
+  constexpr int kPings = 8000;
+  int fd = RawConnect(server_->port(), /*rcvbuf=*/4096);
+  ASSERT_GE(fd, 0);
+  const std::vector<uint8_t> burst = PingBurst(kPings);
+  ASSERT_TRUE(SendAll(fd, burst.data(), burst.size()));
+  // Once every ping was dispatched, its replies are queued; the kernel
+  // buffers hold ~16 KiB of the ~128 KiB, so conn->out cannot drain.
+  while (server_->frames_received() < kPings) std::this_thread::yield();
+
+  const auto start = std::chrono::steady_clock::now();
+  server_->Shutdown();  // hangs forever without the drain deadline
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 5000);
   close(fd);
 }
 
