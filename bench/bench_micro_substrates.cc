@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <map>
 #include <new>
+#include <string>
 
 #include "cluster/kmeans.h"
 #include "cluster/spectral_clustering.h"
@@ -19,6 +20,7 @@
 #include "graph/knn.h"
 #include "graph/laplacian.h"
 #include "la/lanczos.h"
+#include "la/simd.h"
 #include "opt/simplex.h"
 #include "serve/engine.h"
 #include "serve/graph_registry.h"
@@ -238,6 +240,116 @@ BENCHMARK(BM_KMeansThreads)
     ->Args({20000, 1})->Args({20000, 2})->Args({20000, 4})->Args({20000, 8});
 
 // ---------------------------------------------------------------------------
+// Per-ISA sweeps: one single-threaded run of each hot kernel per ISA path
+// the host can execute, registered at runtime in main() (the available set
+// is a host property). These back the DESIGN.md SIMD-dispatch speedup table;
+// compare e.g. BM_SpmvIsa/avx2 against BM_SpmvIsa/scalar. Run with
+//   bench_micro_substrates --benchmark_filter='Isa'
+// ---------------------------------------------------------------------------
+
+/// Sparser fixture for the per-ISA sweeps: ~7 nnz/row at n = 20000 (the
+/// degree regime of kNN attribute views) keeps values + col_idx around 2 MB
+/// — cache-resident — so these benches compare kernel codegen. The dense
+/// Fixture at this size streams > 40 MB of CSR arrays per SpMV, which pins
+/// every ISA at the same memory-bandwidth ceiling and hides codegen wins.
+/// Short rows are also exactly where the SELL layout earns its keep: the
+/// per-row CSR vector loop barely engages at width 7, while SELL runs 8
+/// sorted rows per register.
+struct IsaFixture {
+  std::vector<int32_t> labels;
+  std::vector<la::CsrMatrix> views;
+  la::DenseMatrix attributes;
+
+  static const IsaFixture& Get() {
+    static const IsaFixture* f = [] {
+      IsaFixture* fixture = new IsaFixture();
+      Rng rng(78);
+      fixture->labels = data::BalancedLabels(20000, 4, &rng);
+      graph::Graph g1 = data::SbmGraph(fixture->labels, 4, 0.001, 0.0001, &rng);
+      graph::Graph g2 = data::SbmGraph(fixture->labels, 4, 0.0005, 0.0004, &rng);
+      fixture->views = {graph::NormalizedLaplacian(g1),
+                        graph::NormalizedLaplacian(g2)};
+      fixture->attributes =
+          data::GaussianAttributes(fixture->labels, 4, 32, 1.0, 0.8, &rng);
+      return fixture;
+    }();
+    return *f;
+  }
+};
+
+/// Pins the SIMD dispatch path for one benchmark run, restoring the previous
+/// path afterwards so unsuffixed benches keep auto-detection.
+class IsaOverride {
+ public:
+  explicit IsaOverride(la::simd::Isa isa) : previous_(la::simd::ActiveIsa()) {
+    la::simd::SetActiveForTesting(isa);
+  }
+  ~IsaOverride() { la::simd::SetActiveForTesting(previous_); }
+
+ private:
+  la::simd::Isa previous_;
+};
+
+void BM_SpmvIsa(benchmark::State& state, la::simd::Isa isa) {
+  const IsaFixture& f = IsaFixture::Get();
+  PoolOverride pool(1);
+  IsaOverride pin(isa);
+  const la::CsrMatrix& m = f.views[0];
+  la::Vector x(static_cast<size_t>(m.cols), 1.0);
+  la::Vector y(static_cast<size_t>(m.rows));
+  for (auto _ : state) {
+    la::Spmv(m, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+
+void BM_SellSpmvIsa(benchmark::State& state, la::simd::Isa isa) {
+  const IsaFixture& f = IsaFixture::Get();
+  PoolOverride pool(1);
+  IsaOverride pin(isa);
+  const la::CsrMatrix& m = f.views[0];
+  la::SellMatrix sell;
+  la::BuildSellPattern(m, &sell);
+  la::FillSellValues(m.values, &sell);
+  la::Vector x(static_cast<size_t>(m.cols), 1.0);
+  la::Vector y(static_cast<size_t>(m.rows));
+  for (auto _ : state) {
+    la::SellSpmv(sell, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m.nnz());
+}
+
+void BM_AggregateIsa(benchmark::State& state, la::simd::Isa isa) {
+  const IsaFixture& f = IsaFixture::Get();
+  PoolOverride pool(1);
+  IsaOverride pin(isa);
+  core::LaplacianAggregator aggregator(&f.views);
+  la::CsrMatrix out;
+  aggregator.BindPattern(&out);
+  std::vector<double> weights = {0.3, 0.7};
+  for (auto _ : state) {
+    aggregator.AggregateValuesInto(weights, &out);
+    benchmark::DoNotOptimize(out.values.data());
+    weights[0] = weights[0] < 0.7 ? weights[0] + 0.01 : 0.3;
+    weights[1] = 1.0 - weights[0];
+  }
+}
+
+void BM_KMeansIsa(benchmark::State& state, la::simd::Isa isa) {
+  const IsaFixture& f = IsaFixture::Get();
+  PoolOverride pool(1);
+  IsaOverride pin(isa);
+  cluster::KMeansOptions options;
+  options.num_init = 1;
+  for (auto _ : state) {
+    auto result = cluster::KMeans(f.attributes, 4, options);
+    benchmark::DoNotOptimize(result.inertia);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Engine-layer benches (scripts/check.sh --bench-smoke runs the 'Engine'
 // filter at a tiny size and archives the JSON as BENCH_engine.json). Each
 // reports allocs_per_iter from the global counting hook; the steady-state
@@ -267,6 +379,9 @@ void BM_EngineObjectiveSteadyState(benchmark::State& state) {
       static_cast<double>(g_allocations.load(std::memory_order_relaxed) -
                           allocations_before),
       benchmark::Counter::kAvgIterations);
+  // The dispatch path changes the timings (not the semantics), so archived
+  // BENCH_engine.json runs record which ISA produced them.
+  state.SetLabel(la::simd::ActiveIsaName());
 }
 BENCHMARK(BM_EngineObjectiveSteadyState)->Arg(512)->Arg(2000);
 
@@ -290,6 +405,7 @@ void BM_EngineAggregateSteadyState(benchmark::State& state) {
       static_cast<double>(g_allocations.load(std::memory_order_relaxed) -
                           allocations_before),
       benchmark::Counter::kAvgIterations);
+  state.SetLabel(la::simd::ActiveIsaName());
 }
 BENCHMARK(BM_EngineAggregateSteadyState)->Arg(512)->Arg(2000);
 
@@ -318,6 +434,7 @@ void BM_EngineSolveCluster(benchmark::State& state) {
       static_cast<double>(g_allocations.load(std::memory_order_relaxed) -
                           allocations_before),
       benchmark::Counter::kAvgIterations);
+  state.SetLabel(la::simd::ActiveIsaName());
 }
 BENCHMARK(BM_EngineSolveCluster)->Arg(512)->Arg(2000);
 
@@ -350,6 +467,7 @@ void BM_EngineSolveClusterSharded(benchmark::State& state) {
       static_cast<double>(g_allocations.load(std::memory_order_relaxed) -
                           allocations_before),
       benchmark::Counter::kAvgIterations);
+  state.SetLabel(la::simd::ActiveIsaName());
 }
 BENCHMARK(BM_EngineSolveClusterSharded)->Args({2000, 2})->Args({2000, 4});
 
@@ -395,6 +513,7 @@ void BM_EngineUpdateGraphValueOnly(benchmark::State& state) {
       static_cast<double>(g_allocations.load(std::memory_order_relaxed) -
                           allocations_before),
       benchmark::Counter::kAvgIterations);
+  state.SetLabel(la::simd::ActiveIsaName());
 }
 BENCHMARK(BM_EngineUpdateGraphValueOnly)->Arg(2000);
 
@@ -448,6 +567,7 @@ void BM_EngineWarmResolveAfterUpdate(benchmark::State& state) {
       static_cast<double>(g_allocations.load(std::memory_order_relaxed) -
                           allocations_before),
       benchmark::Counter::kAvgIterations);
+  state.SetLabel(la::simd::ActiveIsaName());
 }
 BENCHMARK(BM_EngineWarmResolveAfterUpdate)->Arg(2000);
 
@@ -475,4 +595,24 @@ BENCHMARK(BM_SglaNelderMead);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the per-ISA sweeps register one
+// instance per ISA the host can actually run — a host property the static
+// BENCHMARK() registry cannot express.
+int main(int argc, char** argv) {
+  for (sgla::la::simd::Isa isa : sgla::la::simd::AvailableIsas()) {
+    const std::string suffix = sgla::la::simd::IsaName(isa);
+    benchmark::RegisterBenchmark(("BM_SpmvIsa/" + suffix).c_str(),
+                                 BM_SpmvIsa, isa);
+    benchmark::RegisterBenchmark(("BM_SellSpmvIsa/" + suffix).c_str(),
+                                 BM_SellSpmvIsa, isa);
+    benchmark::RegisterBenchmark(("BM_AggregateIsa/" + suffix).c_str(),
+                                 BM_AggregateIsa, isa);
+    benchmark::RegisterBenchmark(("BM_KMeansIsa/" + suffix).c_str(),
+                                 BM_KMeansIsa, isa);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

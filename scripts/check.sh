@@ -18,6 +18,10 @@ Flags (combinable, e.g. `--asan --bench-smoke`):
   --rpc-load     skip ctest; run the closed-loop RPC load generator at a
                  small fixed budget and write BENCH_rpc.json (p50/p95/p99
                  latency; gated by scripts/perf_gate.py --latency)
+  --isa NAME     pin the SIMD dispatch path for everything this invocation
+                 runs (exports SGLA_ISA=NAME; scalar|neon|avx2|avx512).
+                 Unavailable or unknown names warn and fall back to
+                 auto-detection, same as the env var.
   --help, -h     this message
 
 --asan, --tsan and --ubsan are mutually exclusive. Sanitizer builds cannot
@@ -51,6 +55,14 @@ while [[ $# -gt 0 ]]; do
       ;;
     --bench-smoke) bench_smoke=1 ;;
     --rpc-load) rpc_load=1 ;;
+    --isa)
+      if [[ $# -lt 2 ]]; then
+        echo "check.sh: --isa needs a name (scalar|neon|avx2|avx512)" >&2
+        exit 2
+      fi
+      shift
+      export SGLA_ISA="$1"
+      ;;
     --help|-h) usage; exit 0 ;;
     *) ctest_args+=("$1") ;;
   esac
@@ -93,7 +105,7 @@ if [[ "${bench_smoke}" == "1" ]]; then
   # machine-readable google-benchmark output; future PRs diff it.
   if [[ -x "${build_dir}/bench_micro_substrates" ]]; then
     "${build_dir}/bench_micro_substrates" \
-      --benchmark_filter='Engine' \
+      --benchmark_filter='Engine|Isa' \
       --benchmark_min_time=0.05 \
       --benchmark_out=BENCH_engine.json \
       --benchmark_out_format=json

@@ -6,6 +6,7 @@
 #include <limits>
 #include <utility>
 
+#include "la/simd.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -70,6 +71,7 @@ void LloydOnce(const la::DenseMatrix& points, int k,
   // and merges partials in chunk-index order, so labels, inertia, and center
   // sums are bit-identical at any thread count, run after run.
   util::ThreadPool& pool = util::ThreadPool::Global();
+  const la::simd::KernelTable* table = la::simd::ActiveTable();
   const int64_t chunks = util::ThreadPool::NumChunks(0, n, kPointGrain);
   if (static_cast<int64_t>(ws->sum_partial.size()) < chunks) {
     ws->sum_partial.resize(static_cast<size_t>(chunks));
@@ -94,16 +96,13 @@ void LloydOnce(const la::DenseMatrix& points, int k,
       double inertia = 0.0;
       bool changed = false;
       for (int64_t i = lo; i < hi; ++i) {
+        // Fused distance + argmin kernel; DenseMatrix rows are contiguous,
+        // so centers.Row(0) spans all k*d center coordinates.
         double best = std::numeric_limits<double>::max();
-        int32_t best_c = 0;
-        for (int c = 0; c < k; ++c) {
-          const double d2 =
-              la::SquaredDistance(points.Row(i), result->centers.Row(c), d);
-          if (d2 < best) {
-            best = d2;
-            best_c = static_cast<int32_t>(c);
-          }
-        }
+        int64_t best_center = 0;
+        table->nearest_center(points.Row(i), result->centers.Row(0), k, d,
+                              &best, &best_center);
+        const int32_t best_c = static_cast<int32_t>(best_center);
         if (result->labels[static_cast<size_t>(i)] != best_c) {
           result->labels[static_cast<size_t>(i)] = best_c;
           changed = true;

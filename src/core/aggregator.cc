@@ -4,6 +4,7 @@
 #include <atomic>
 #include <utility>
 
+#include "la/simd.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -68,6 +69,11 @@ LaplacianAggregator::LaplacianAggregator(
         static_cast<int64_t>(aggregate_.col_idx.size());
   }
   aggregate_.values.assign(aggregate_.col_idx.size(), 0.0);
+  // The SELL companion of the union pattern, built once per pattern like
+  // the scatter maps; Evaluate refreshes its values in place per weight
+  // vector (see FillSellValues), so the eigensolve's SpMV runs the blocked
+  // layout without per-evaluation pattern work.
+  la::BuildSellPattern(aggregate_, &sell_);
 }
 
 LaplacianAggregator::LaplacianAggregator(
@@ -75,6 +81,7 @@ LaplacianAggregator::LaplacianAggregator(
     : views_(views),
       aggregate_(donor.aggregate_),
       scatter_(donor.scatter_),
+      sell_(donor.sell_),
       pattern_id_(donor.pattern_id_) {
   SGLA_CHECK(views != nullptr && views->size() == donor.views_->size())
       << "pattern-donor aggregator view count mismatch";
@@ -97,8 +104,10 @@ void LaplacianAggregator::FillValues(const std::vector<double>& weights,
   // order — the same per-slot summation order as the serial view-major loop,
   // so the result is bit-identical at any thread count.
   constexpr int64_t kRowGrain = 512;
+  const la::simd::KernelTable* table = la::simd::ActiveTable();
   util::ThreadPool::Global().ParallelFor(
-      0, aggregate_.rows, kRowGrain, [&, values](int64_t lo, int64_t hi) {
+      0, aggregate_.rows, kRowGrain,
+      [&, values, table](int64_t lo, int64_t hi) {
         std::fill(values + aggregate_.row_ptr[static_cast<size_t>(lo)],
                   values + aggregate_.row_ptr[static_cast<size_t>(hi)], 0.0);
         for (size_t v = 0; v < views_->size(); ++v) {
@@ -108,10 +117,11 @@ void LaplacianAggregator::FillValues(const std::vector<double>& weights,
           const std::vector<int64_t>& map = scatter_[v];
           const int64_t begin = view.row_ptr[static_cast<size_t>(lo)];
           const int64_t end = view.row_ptr[static_cast<size_t>(hi)];
-          for (int64_t p = begin; p < end; ++p) {
-            values[map[static_cast<size_t>(p)]] +=
-                w * view.values[static_cast<size_t>(p)];
-          }
+          // scatter_axpy is element-wise (one rounded multiply + one
+          // rounded add per slot in every ISA variant), so aggregation
+          // values are bit-identical across all ISA paths.
+          table->scatter_axpy(w, view.values.data() + begin,
+                              map.data() + begin, end - begin, values);
         }
       });
 }
@@ -128,6 +138,12 @@ void LaplacianAggregator::BindPattern(la::CsrMatrix* out) const {
   out->row_ptr = aggregate_.row_ptr;  // assign-reuses out's capacity
   out->col_idx = aggregate_.col_idx;
   out->values.assign(aggregate_.col_idx.size(), 0.0);
+}
+
+void LaplacianAggregator::BindSellPattern(la::SellMatrix* out) const {
+  // Vector copy-assignment reuses out's capacity, so rebinding a workspace
+  // of sufficient size stays allocation-free, like BindPattern.
+  *out = sell_;
 }
 
 void LaplacianAggregator::AggregateValuesInto(
@@ -260,6 +276,26 @@ void ShardedAggregator::BindPattern(std::vector<la::CsrMatrix>* out) const {
   }
 }
 
+void ShardedAggregator::BindSellPattern(
+    std::vector<la::SellMatrix>* out) const {
+  out->resize(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->aggregator->BindSellPattern(&(*out)[s]);
+  }
+}
+
+void ShardedAggregator::FillSellValues(
+    const std::vector<la::CsrMatrix>& shard_values,
+    std::vector<la::SellMatrix>* out) const {
+  SGLA_CHECK(shard_values.size() == shards_.size() &&
+             out->size() == shards_.size())
+      << "sharded FillSellValues on unbound buffers";
+  context().Run([&shard_values, out](int s, int64_t, int64_t) {
+    la::FillSellValues(shard_values[static_cast<size_t>(s)].values,
+                       &(*out)[static_cast<size_t>(s)]);
+  });
+}
+
 void ShardedAggregator::AggregateValuesInto(
     const std::vector<double>& weights,
     std::vector<la::CsrMatrix>* out) const {
@@ -305,6 +341,18 @@ void ShardedAggregator::GatherValues(
 void ShardedAggregator::ShardedApply(const void* ctx, const double* x,
                                      double* y) {
   const SpmvContext& bound = *static_cast<const SpmvContext*>(ctx);
+  if (bound.shard_sell != nullptr) {
+    // Blocked path: one SELL SpMV job per shard. Shard SELLs are built on
+    // σ windows that never cross shard boundaries, so per row this is the
+    // same slice chain as the unsharded SELL form — and under scalar, the
+    // same bits as the CSR path below.
+    const std::vector<la::SellMatrix>& sells = *bound.shard_sell;
+    bound.aggregator->context().Run(
+        [&sells, x, y](int s, int64_t lo, int64_t) {
+          la::SellSpmv(sells[static_cast<size_t>(s)], x, y + lo);
+        });
+    return;
+  }
   const std::vector<la::CsrMatrix>& shards = *bound.shard_values;
   bound.aggregator->context().Run(
       [&shards, x, y](int s, int64_t lo, int64_t) {
@@ -317,6 +365,9 @@ la::SpmvOperator ShardedAggregator::OperatorOver(const SpmvContext* ctx) {
              ctx->shard_values != nullptr &&
              ctx->shard_values->size() == ctx->aggregator->shards_.size())
       << "OperatorOver needs a fully bound context";
+  SGLA_CHECK(ctx->shard_sell == nullptr ||
+             ctx->shard_sell->size() == ctx->aggregator->shards_.size())
+      << "OperatorOver SELL buffers do not match the shard count";
   la::SpmvOperator op;
   op.rows = ctx->aggregator->rows();
   op.apply = &ShardedApply;

@@ -59,6 +59,17 @@ class LaplacianAggregator {
   /// out->values; values content is unspecified. Reuses out's buffers.
   void BindPattern(la::CsrMatrix* out) const;
 
+  /// The SELL-C-σ form of the union pattern, materialized once at
+  /// construction (see la::SellMatrix). Values hold whatever was last pushed
+  /// through la::FillSellValues.
+  const la::SellMatrix& sell_pattern() const { return sell_; }
+
+  /// Copies the SELL form of the union pattern into `out`. Reuses out's
+  /// buffers, so rebinding a sufficiently large workspace is allocation-free.
+  /// Refresh values with la::FillSellValues(csr.values, out) after each
+  /// AggregateValuesInto.
+  void BindSellPattern(la::SellMatrix* out) const;
+
   /// Fills out->values with sum_i w_i L_i over the union pattern; `out` must
   /// have been bound with BindPattern() first (checked). Thread-safe across
   /// distinct `out` buffers; allocation-free.
@@ -70,6 +81,7 @@ class LaplacianAggregator {
 
   const std::vector<la::CsrMatrix>* views_;
   la::CsrMatrix aggregate_;                      ///< union pattern, reused
+  la::SellMatrix sell_;                          ///< SELL form of the pattern
   std::vector<std::vector<int64_t>> scatter_;    ///< view nnz -> union nnz
   uint64_t pattern_id_ = 0;
 };
@@ -135,6 +147,18 @@ class ShardedAggregator {
   /// pattern (values zeroed). Reuses the buffers' capacity.
   void BindPattern(std::vector<la::CsrMatrix>* out) const;
 
+  /// Sizes `out` to one SELL matrix per shard and binds each to the SELL form
+  /// of that shard's union pattern. Shard boundaries are kShardAlign-aligned
+  /// and the SELL sort window equals kShardAlign, so the concatenated shard
+  /// SELLs sort rows exactly like one SELL built over the full pattern.
+  void BindSellPattern(std::vector<la::SellMatrix>* out) const;
+
+  /// Refreshes every shard SELL's values from the matching filled CSR shard
+  /// buffer — one TaskQueue job per shard, allocation-free. Both vectors must
+  /// have been bound against this aggregator's current pattern.
+  void FillSellValues(const std::vector<la::CsrMatrix>& shard_values,
+                      std::vector<la::SellMatrix>* out) const;
+
   /// Fills every shard buffer with its row slice of sum_i w_i L_i — one
   /// TaskQueue job per shard. `out` must have been bound with BindPattern().
   void AggregateValuesInto(const std::vector<double>& weights,
@@ -157,6 +181,11 @@ class ShardedAggregator {
   struct SpmvContext {
     const ShardedAggregator* aggregator = nullptr;
     const std::vector<la::CsrMatrix>* shard_values = nullptr;
+    /// When non-null, applications run the cache-blocked SELL kernel over
+    /// these per-shard matrices (bound with BindSellPattern and refreshed
+    /// with FillSellValues) instead of the CSR slices. Under SGLA_ISA=scalar
+    /// both paths produce the same bits.
+    const std::vector<la::SellMatrix>* shard_sell = nullptr;
   };
 
   /// Matrix-free operator over filled shard buffers: each application runs

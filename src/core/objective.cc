@@ -38,6 +38,7 @@ void SpectralObjective::AggregateIntoWorkspace(
   if (sharded_ != nullptr) {
     if (sharded_workspace_->bound_pattern != sharded_->pattern_id()) {
       sharded_->BindPattern(&sharded_workspace_->shard_aggregate);
+      sharded_->BindSellPattern(&sharded_workspace_->shard_sell);
       sharded_workspace_->bound_pattern = sharded_->pattern_id();
     }
     sharded_->AggregateValuesInto(weights,
@@ -46,6 +47,7 @@ void SpectralObjective::AggregateIntoWorkspace(
   }
   if (workspace_->bound_pattern != aggregator_->pattern_id()) {
     aggregator_->BindPattern(&workspace_->aggregate);
+    aggregator_->BindSellPattern(&workspace_->sell);
     workspace_->bound_pattern = aggregator_->pattern_id();
   }
   aggregator_->AggregateValuesInto(weights, &workspace_->aggregate);
@@ -87,12 +89,16 @@ Result<ObjectiveValue> SpectralObjective::Evaluate(
   Status solved;
   if (sharded_ != nullptr &&
       !la::UsesDenseFallback(sharded_->rows(), k_ + 1)) {
-    // Each Lanczos mat-vec runs one SpMV job per shard; everything else in
-    // the iteration (dots, panels, Rayleigh-Ritz) is the same code on the
-    // same full-length vectors, so the solve matches the CSR path bit for
-    // bit.
+    // Each Lanczos mat-vec runs one SELL SpMV job per shard; everything else
+    // in the iteration (dots, panels, Rayleigh-Ritz) is the same code on the
+    // same full-length vectors, so under scalar the solve matches the CSR
+    // path bit for bit. The SELL value refresh is a pure permutation of the
+    // filled CSR values, allocation-free on a bound workspace.
+    sharded_->FillSellValues(sharded_workspace_->shard_aggregate,
+                             &sharded_workspace_->shard_sell);
     ShardedAggregator::SpmvContext ctx{sharded_,
-                                       &sharded_workspace_->shard_aggregate};
+                                       &sharded_workspace_->shard_aggregate,
+                                       &sharded_workspace_->shard_sell};
     solved = la::SmallestEigenpairsInto(ShardedAggregator::OperatorOver(&ctx),
                                         k_ + 1, 2.0, lanczos,
                                         &workspace_->lanczos,
@@ -102,6 +108,14 @@ Result<ObjectiveValue> SpectralObjective::Evaluate(
     // aggregate and take the CSR path (identical to the unsharded solve).
     solved = la::SmallestEigenpairsInto(MaterializeFull(), k_ + 1, 2.0,
                                         lanczos, &workspace_->lanczos,
+                                        &workspace_->eigen, &stats);
+  } else if (!la::UsesDenseFallback(workspace_->aggregate.rows, k_ + 1)) {
+    // Lanczos-sized problem: route mat-vecs through the SELL form of the
+    // aggregate (scalar-bit-identical to the CSR form; see la/sparse.h).
+    la::FillSellValues(workspace_->aggregate.values, &workspace_->sell);
+    solved = la::SmallestEigenpairsInto(la::SellSpmvOperator(workspace_->sell),
+                                        k_ + 1, 2.0, lanczos,
+                                        &workspace_->lanczos,
                                         &workspace_->eigen, &stats);
   } else {
     solved = la::SmallestEigenpairsInto(workspace_->aggregate, k_ + 1, 2.0,

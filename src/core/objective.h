@@ -53,7 +53,8 @@ struct ObjectiveValue {
 /// concurrent evaluations.
 struct EvalWorkspace {
   la::CsrMatrix aggregate;       ///< union-pattern output buffer
-  uint64_t bound_pattern = 0;    ///< pattern_id the buffer was bound to
+  la::SellMatrix sell;           ///< SELL form of `aggregate` (eigensolves)
+  uint64_t bound_pattern = 0;    ///< pattern_id the buffers were bound to
   la::LanczosWorkspace lanczos;
   la::Eigenpairs eigen;
 };
@@ -69,6 +70,7 @@ struct EvalWorkspace {
 struct ShardedEvalWorkspace {
   EvalWorkspace base;
   std::vector<la::CsrMatrix> shard_aggregate;  ///< per-shard bound buffers
+  std::vector<la::SellMatrix> shard_sell;      ///< SELL forms (eigensolves)
   uint64_t bound_pattern = 0;  ///< pattern_id the shard buffers are bound to
   la::CsrMatrix full;          ///< full-size aggregate scratch (AggregateAt)
   uint64_t full_bound = 0;     ///< pattern_id `full` is bound to

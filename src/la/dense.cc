@@ -2,34 +2,34 @@
 
 #include <cmath>
 
+#include "la/simd.h"
 #include "util/logging.h"
 
 namespace sgla {
 namespace la {
 
+// The BLAS-1 hot kernels dispatch through the runtime-selected ISA table
+// (la/simd.h). Axpy and Scale are element-wise and bit-identical across
+// every ISA path; Dot and SquaredDistance are reductions whose bits are a
+// fixed function of the operands within one ISA (scalar keeps the
+// historical serial-sum bits exactly).
+
 double Dot(const double* x, const double* y, int64_t n) {
-  double sum = 0.0;
-  for (int64_t i = 0; i < n; ++i) sum += x[i] * y[i];
-  return sum;
+  return simd::ActiveTable()->dot(x, y, n);
 }
 
 double Norm2(const double* x, int64_t n) { return std::sqrt(Dot(x, x, n)); }
 
 void Axpy(double alpha, const double* x, double* y, int64_t n) {
-  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  simd::ActiveTable()->axpy(alpha, x, y, n);
 }
 
 void Scale(double alpha, double* x, int64_t n) {
-  for (int64_t i = 0; i < n; ++i) x[i] *= alpha;
+  simd::ActiveTable()->scale(alpha, x, n);
 }
 
 double SquaredDistance(const double* x, const double* y, int64_t n) {
-  double sum = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
-    const double d = x[i] - y[i];
-    sum += d * d;
-  }
-  return sum;
+  return simd::ActiveTable()->squared_distance(x, y, n);
 }
 
 DenseMatrix MatMul(const DenseMatrix& a, const DenseMatrix& b) {

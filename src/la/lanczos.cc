@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/simd.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -163,13 +164,14 @@ int LanczosPassInto(const SpmvOperator& matrix, double sigma, int m, int want,
   int built = 0;
   for (int j = 0; j < m; ++j) {
     built = j + 1;
-    // w = B v_j = sigma v_j - M v_j
+    // w = B v_j = sigma v_j - M v_j. The sigma_sub kernel is element-wise
+    // (separate multiply and subtract roundings in every ISA variant), so
+    // this combine is bit-identical across ISA paths and chunkings.
     matrix.apply(matrix.ctx, basis.Row(j), w.data());
     const double* vj = basis.Row(j);
-    const auto combine = [sigma, vj, &w](int64_t lo, int64_t hi) {
-      for (int64_t i = lo; i < hi; ++i) {
-        w[static_cast<size_t>(i)] = sigma * vj[i] - w[static_cast<size_t>(i)];
-      }
+    const simd::KernelTable* table = simd::ActiveTable();
+    const auto combine = [sigma, vj, &w, table](int64_t lo, int64_t hi) {
+      table->sigma_sub(sigma, vj + lo, w.data() + lo, hi - lo);
     };
     if (n <= kElementGrain) {
       combine(0, n);
@@ -244,7 +246,8 @@ int LanczosPassInto(const SpmvOperator& matrix, double sigma, int m, int want,
       for (int t = 0; t < built; ++t) {
         const double coef = ritz_vectors(t, src);
         const double* row = basis.Row(t);
-        for (int64_t i = lo; i < hi; ++i) assembled[i] += coef * row[i];
+        // Element-wise axpy panel: same bits on every ISA path.
+        Axpy(coef, row + lo, assembled + lo, hi - lo);
       }
     };
     if (n <= kElementGrain) {
@@ -269,12 +272,24 @@ void CsrApply(const void* ctx, const double* x, double* y) {
   Spmv(*static_cast<const CsrMatrix*>(ctx), x, y);
 }
 
+void SellApply(const void* ctx, const double* x, double* y) {
+  SellSpmv(*static_cast<const SellMatrix*>(ctx), x, y);
+}
+
 }  // namespace
 
 SpmvOperator CsrSpmvOperator(const CsrMatrix& m) {
   SpmvOperator op;
   op.rows = m.rows;
   op.apply = &CsrApply;
+  op.ctx = &m;
+  return op;
+}
+
+SpmvOperator SellSpmvOperator(const SellMatrix& m) {
+  SpmvOperator op;
+  op.rows = m.rows;
+  op.apply = &SellApply;
   op.ctx = &m;
   return op;
 }

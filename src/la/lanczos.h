@@ -86,6 +86,11 @@ struct SpmvOperator {
 /// Wraps `m` (which must outlive the operator) for the operator-form solver.
 SpmvOperator CsrSpmvOperator(const CsrMatrix& m);
 
+/// Wraps a SELL-C-σ matrix (see la::SellMatrix) the same way. Under
+/// SGLA_ISA=scalar the application is bit-identical to CsrSpmvOperator on
+/// the source CSR; vector ISAs run the padded slice kernel.
+SpmvOperator SellSpmvOperator(const SellMatrix& m);
+
 /// True when the CSR form below takes the dense Jacobi fallback (tiny matrix
 /// or nearly full spectrum requested) instead of running Lanczos. The
 /// operator form cannot densify a matrix-free operator and rejects such

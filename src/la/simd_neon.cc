@@ -1,0 +1,173 @@
+// NEON (AArch64 AdvSIMD) kernel path. Same contract split as the x86 TUs:
+// element-wise kernels round multiply and add separately (vmulq + vaddq,
+// with -ffp-contract=off so the compiler cannot fuse them) and are
+// bit-identical to scalar; reductions use explicit vfmaq with a fixed lane
+// layout, fixed-order horizontal sums, and a separate scalar remainder.
+// NEON has no gathers, so the sparse kernels vectorize only the
+// value-stream arithmetic; sell_spmv keeps the scalar padding-skip loop.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstdint>
+
+#include "la/simd_table.h"
+
+namespace sgla {
+namespace la {
+namespace simd {
+namespace {
+
+inline double HorizontalSum2(float64x2_t a, float64x2_t b) {
+  return (vgetq_lane_f64(a, 0) + vgetq_lane_f64(a, 1)) +
+         (vgetq_lane_f64(b, 0) + vgetq_lane_f64(b, 1));
+}
+
+double NeonDot(const double* x, const double* y, int64_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 = vfmaq_f64(acc0, vld1q_f64(x + i), vld1q_f64(y + i));
+    acc1 = vfmaq_f64(acc1, vld1q_f64(x + i + 2), vld1q_f64(y + i + 2));
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) tail += x[i] * y[i];
+  return HorizontalSum2(acc0, acc1) + tail;
+}
+
+double NeonSquaredDistance(const double* x, const double* y, int64_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float64x2_t d0 = vsubq_f64(vld1q_f64(x + i), vld1q_f64(y + i));
+    const float64x2_t d1 =
+        vsubq_f64(vld1q_f64(x + i + 2), vld1q_f64(y + i + 2));
+    acc0 = vfmaq_f64(acc0, d0, d0);
+    acc1 = vfmaq_f64(acc1, d1, d1);
+  }
+  double tail = 0.0;
+  for (; i < n; ++i) {
+    const double d = x[i] - y[i];
+    tail += d * d;
+  }
+  return HorizontalSum2(acc0, acc1) + tail;
+}
+
+void NeonAxpy(double alpha, const double* x, double* y, int64_t n) {
+  const float64x2_t va = vdupq_n_f64(alpha);
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t ax = vmulq_f64(va, vld1q_f64(x + i));
+    vst1q_f64(y + i, vaddq_f64(vld1q_f64(y + i), ax));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void NeonScale(double alpha, double* x, int64_t n) {
+  const float64x2_t va = vdupq_n_f64(alpha);
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(x + i, vmulq_f64(vld1q_f64(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void NeonSigmaSub(double sigma, const double* v, double* w, int64_t n) {
+  const float64x2_t vs = vdupq_n_f64(sigma);
+  int64_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t sv = vmulq_f64(vs, vld1q_f64(v + i));
+    vst1q_f64(w + i, vsubq_f64(sv, vld1q_f64(w + i)));
+  }
+  for (; i < n; ++i) w[i] = sigma * v[i] - w[i];
+}
+
+void NeonScatterAxpy(double w, const double* values, const int64_t* map,
+                     int64_t nnz, double* out) {
+  const float64x2_t vw = vdupq_n_f64(w);
+  double product[2];
+  int64_t p = 0;
+  for (; p + 2 <= nnz; p += 2) {
+    vst1q_f64(product, vmulq_f64(vw, vld1q_f64(values + p)));
+    out[map[p]] += product[0];
+    out[map[p + 1]] += product[1];
+  }
+  for (; p < nnz; ++p) out[map[p]] += w * values[p];
+}
+
+void NeonSpmvRows(const int64_t* row_ptr, const int64_t* col_idx,
+                  const double* values, const double* x, double* y,
+                  int64_t row_begin, int64_t row_end) {
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    const int64_t end = row_ptr[r + 1];
+    int64_t p = row_ptr[r];
+    float64x2_t acc = vdupq_n_f64(0.0);
+    for (; p + 2 <= end; p += 2) {
+      float64x2_t vx = vdupq_n_f64(0.0);
+      vx = vsetq_lane_f64(x[col_idx[p]], vx, 0);
+      vx = vsetq_lane_f64(x[col_idx[p + 1]], vx, 1);
+      acc = vfmaq_f64(acc, vld1q_f64(values + p), vx);
+    }
+    double tail = 0.0;
+    for (; p < end; ++p) tail += values[p] * x[col_idx[p]];
+    y[r - row_begin] =
+        (vgetq_lane_f64(acc, 0) + vgetq_lane_f64(acc, 1)) + tail;
+  }
+}
+
+void NeonSellSpmv(const int64_t* slice_ptr, const int64_t* col_idx,
+                  const double* values, const int64_t* row_len,
+                  const int64_t* perm, const double* x, double* y,
+                  int64_t slice_begin, int64_t slice_end) {
+  // Without gathers the SELL layout buys nothing on NEON; run the scalar
+  // padding-skip loop (same bits as the scalar table's sell_spmv).
+  for (int64_t s = slice_begin; s < slice_end; ++s) {
+    const int64_t base = slice_ptr[s] * 8;
+    for (int64_t lane = 0; lane < 8; ++lane) {
+      const int64_t slot = s * 8 + lane;
+      const int64_t row = perm[slot];
+      if (row < 0) continue;
+      double sum = 0.0;
+      const int64_t len = row_len[slot];
+      for (int64_t j = 0; j < len; ++j) {
+        const int64_t at = base + j * 8 + lane;
+        sum += values[at] * x[col_idx[at]];
+      }
+      y[row] = sum;
+    }
+  }
+}
+
+void NeonNearestCenter(const double* point, const double* centers, int64_t k,
+                       int64_t d, double* best_d2, int64_t* best_c) {
+  double best = *best_d2;
+  int64_t best_index = *best_c;
+  for (int64_t c = 0; c < k; ++c) {
+    const double d2 = NeonSquaredDistance(point, centers + c * d, d);
+    if (d2 < best) {
+      best = d2;
+      best_index = c;
+    }
+  }
+  *best_d2 = best;
+  *best_c = best_index;
+}
+
+constexpr KernelTable kNeonTable = {
+    &NeonDot,      &NeonSquaredDistance, &NeonAxpy,
+    &NeonScale,    &NeonSigmaSub,        &NeonScatterAxpy,
+    &NeonSpmvRows, &NeonSellSpmv,        &NeonNearestCenter,
+};
+
+}  // namespace
+
+const KernelTable* NeonTable() { return &kNeonTable; }
+
+}  // namespace simd
+}  // namespace la
+}  // namespace sgla
+
+#endif  // defined(__aarch64__)

@@ -1,12 +1,23 @@
 #include "la/sparse.h"
 
 #include <algorithm>
+#include <numeric>
 
+#include "la/simd.h"
 #include "util/logging.h"
+#include "util/sharding.h"
 #include "util/thread_pool.h"
 
 namespace sgla {
 namespace la {
+
+// The σ window must coincide with the shard alignment so no SELL slice ever
+// crosses a shard boundary (see SellMatrix).
+static_assert(kSellSortWindow == util::kShardAlign,
+              "SELL sort window must equal the shard alignment");
+static_assert(kSellSortWindow % kSellLanes == 0,
+              "slices must tile the sort window exactly");
+
 namespace {
 
 // Rows per chunk for the row-parallel kernels. Every row is produced by
@@ -15,6 +26,9 @@ namespace {
 constexpr int64_t kSpmvGrain = 512;
 constexpr int64_t kSpmvDenseGrain = 128;
 constexpr int64_t kMergeGrain = 512;
+// Slices per chunk of the SELL kernel: 64 slices x 8 lanes = the same 512
+// rows per chunk as kSpmvGrain.
+constexpr int64_t kSellSliceGrain = kSpmvGrain / kSellLanes;
 
 /// Row-wise k-way merge of the views' sorted column lists over rows
 /// [lo, hi): calls emit(row, col, sum of weights[v] * value_v) for every
@@ -88,17 +102,14 @@ CsrMatrix FromTriplets(int64_t rows, int64_t cols,
 }
 
 void Spmv(const CsrMatrix& m, const double* x, double* y) {
+  // Each chunk hands its row range to the active ISA's row kernel; every
+  // row's dot product is self-contained, so any row partition — threads,
+  // shards, or both — reproduces the same bits within one ISA path.
+  const simd::KernelTable* table = simd::ActiveTable();
   util::ThreadPool::Global().ParallelFor(
-      0, m.rows, kSpmvGrain, [&m, x, y](int64_t lo, int64_t hi) {
-        for (int64_t r = lo; r < hi; ++r) {
-          double sum = 0.0;
-          const int64_t end = m.row_ptr[static_cast<size_t>(r) + 1];
-          for (int64_t p = m.row_ptr[static_cast<size_t>(r)]; p < end; ++p) {
-            sum += m.values[static_cast<size_t>(p)] *
-                   x[m.col_idx[static_cast<size_t>(p)]];
-          }
-          y[r] = sum;
-        }
+      0, m.rows, kSpmvGrain, [&m, x, y, table](int64_t lo, int64_t hi) {
+        table->spmv_rows(m.row_ptr.data(), m.col_idx.data(), m.values.data(),
+                         x, y + lo, lo, hi);
       });
 }
 
@@ -106,15 +117,97 @@ void SpmvRows(const CsrMatrix& m, const double* x, double* y,
               int64_t row_begin, int64_t row_end) {
   SGLA_CHECK(row_begin >= 0 && row_begin <= row_end && row_end <= m.rows)
       << "SpmvRows range out of bounds";
-  for (int64_t r = row_begin; r < row_end; ++r) {
-    double sum = 0.0;
-    const int64_t end = m.row_ptr[static_cast<size_t>(r) + 1];
-    for (int64_t p = m.row_ptr[static_cast<size_t>(r)]; p < end; ++p) {
-      sum += m.values[static_cast<size_t>(p)] *
-             x[m.col_idx[static_cast<size_t>(p)]];
-    }
-    y[r] = sum;
+  simd::ActiveTable()->spmv_rows(m.row_ptr.data(), m.col_idx.data(),
+                                 m.values.data(), x, y + row_begin, row_begin,
+                                 row_end);
+}
+
+void BuildSellPattern(const CsrMatrix& m, SellMatrix* out) {
+  out->rows = m.rows;
+  out->cols = m.cols;
+  const int64_t num_slices = (m.rows + kSellLanes - 1) / kSellLanes;
+  const int64_t num_slots = num_slices * kSellLanes;
+
+  // Row permutation: descending nnz within each σ window, ascending row
+  // index among equals, windows in natural order. The index tie-break makes
+  // plain std::sort (in-place, no temporary buffer) produce exactly the
+  // stable order. Shard boundaries are multiples of the window size, so a
+  // shard slice's permutation is the matching sub-range of the full one.
+  out->perm.assign(static_cast<size_t>(num_slots), -1);
+  std::iota(out->perm.begin(), out->perm.begin() + m.rows, int64_t{0});
+  const auto nnz_of = [&m](int64_t r) {
+    return m.row_ptr[static_cast<size_t>(r) + 1] -
+           m.row_ptr[static_cast<size_t>(r)];
+  };
+  for (int64_t lo = 0; lo < m.rows; lo += kSellSortWindow) {
+    const int64_t hi = std::min(m.rows, lo + kSellSortWindow);
+    std::sort(out->perm.begin() + lo, out->perm.begin() + hi,
+              [&nnz_of](int64_t a, int64_t b) {
+                const int64_t na = nnz_of(a);
+                const int64_t nb = nnz_of(b);
+                return na != nb ? na > nb : a < b;
+              });
   }
+
+  out->row_len.assign(static_cast<size_t>(num_slots), 0);
+  out->slice_ptr.assign(static_cast<size_t>(num_slices) + 1, 0);
+  for (int64_t s = 0; s < num_slices; ++s) {
+    int64_t width = 0;
+    for (int64_t l = 0; l < kSellLanes; ++l) {
+      const int64_t slot = s * kSellLanes + l;
+      const int64_t row = out->perm[static_cast<size_t>(slot)];
+      if (row < 0) continue;  // ghost lane in the final slice
+      const int64_t len = nnz_of(row);
+      out->row_len[static_cast<size_t>(slot)] = len;
+      width = std::max(width, len);
+    }
+    out->slice_ptr[static_cast<size_t>(s) + 1] =
+        out->slice_ptr[static_cast<size_t>(s)] + width;
+  }
+
+  const size_t padded =
+      static_cast<size_t>(out->slice_ptr[static_cast<size_t>(num_slices)] *
+                          kSellLanes);
+  out->col_idx.assign(padded, 0);
+  out->values.assign(padded, 0.0);
+  out->value_slot.assign(static_cast<size_t>(m.nnz()), 0);
+  for (int64_t s = 0; s < num_slices; ++s) {
+    const int64_t base = out->slice_ptr[static_cast<size_t>(s)] * kSellLanes;
+    for (int64_t l = 0; l < kSellLanes; ++l) {
+      const int64_t slot = s * kSellLanes + l;
+      const int64_t row = out->perm[static_cast<size_t>(slot)];
+      if (row < 0) continue;
+      const int64_t start = m.row_ptr[static_cast<size_t>(row)];
+      const int64_t len = out->row_len[static_cast<size_t>(slot)];
+      for (int64_t j = 0; j < len; ++j) {
+        const int64_t at = base + j * kSellLanes + l;
+        out->col_idx[static_cast<size_t>(at)] =
+            m.col_idx[static_cast<size_t>(start + j)];
+        out->values[static_cast<size_t>(at)] =
+            m.values[static_cast<size_t>(start + j)];
+        out->value_slot[static_cast<size_t>(start + j)] = at;
+      }
+    }
+  }
+}
+
+void FillSellValues(const std::vector<double>& csr_values, SellMatrix* out) {
+  SGLA_CHECK(csr_values.size() == out->value_slot.size())
+      << "FillSellValues nnz mismatch (pattern not built for this CSR?)";
+  for (size_t p = 0; p < csr_values.size(); ++p) {
+    out->values[static_cast<size_t>(out->value_slot[p])] = csr_values[p];
+  }
+}
+
+void SellSpmv(const SellMatrix& m, const double* x, double* y) {
+  const simd::KernelTable* table = simd::ActiveTable();
+  util::ThreadPool::Global().ParallelFor(
+      0, m.num_slices(), kSellSliceGrain,
+      [&m, x, y, table](int64_t lo, int64_t hi) {
+        table->sell_spmv(m.slice_ptr.data(), m.col_idx.data(),
+                         m.values.data(), m.row_len.data(), m.perm.data(), x,
+                         y, lo, hi);
+      });
 }
 
 CsrMatrix RowSlice(const CsrMatrix& m, int64_t row_begin, int64_t row_end) {

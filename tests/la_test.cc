@@ -1,6 +1,8 @@
 // Unit tests for the la/ numerical substrate: SpMV and WeightedSum against
 // dense references, Lanczos vs an analytic 3x3 spectrum, submatrix extraction
-// and the truncated SVD.
+// and the truncated SVD, plus the per-ISA SIMD kernel contracts (remainder
+// lanes, SELL layout, cross-ISA bit rules from la/simd_table.h).
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -8,12 +10,34 @@
 #include "la/dense.h"
 #include "la/eigen_sym.h"
 #include "la/lanczos.h"
+#include "la/simd.h"
 #include "la/sparse.h"
 #include "la/svd.h"
 #include "util/rng.h"
 
 namespace sgla {
 namespace {
+
+/// Pins the SIMD dispatch path for one test scope, restoring the previous
+/// path on destruction. Construction asserts the ISA is available — tests
+/// iterate simd::AvailableIsas(), so unavailable paths are skipped, not
+/// failed.
+class ScopedIsa {
+ public:
+  explicit ScopedIsa(la::simd::Isa isa) : previous_(la::simd::ActiveIsa()) {
+    EXPECT_TRUE(la::simd::SetActiveForTesting(isa))
+        << "pinning unavailable ISA " << la::simd::IsaName(isa);
+  }
+  ~ScopedIsa() { la::simd::SetActiveForTesting(previous_); }
+
+ private:
+  la::simd::Isa previous_;
+};
+
+/// The vector-width edge cases every per-ISA kernel test sweeps: below one
+/// lane, around the 8-lane SELL slice, around the 512-row sort window /
+/// shard alignment, and the ragged bitdump fixture size.
+const int64_t kLaneSizes[] = {1, 7, 8, 9, 511, 512, 513, 2570};
 
 la::CsrMatrix RandomSparse(int64_t rows, int64_t cols, double density,
                            Rng* rng) {
@@ -131,6 +155,152 @@ TEST(LanczosTest, LargeSparseMatchesDenseJacobi) {
   for (int j = 0; j < 4; ++j) {
     EXPECT_NEAR(lanczos->values[static_cast<size_t>(j)],
                 dense_values[static_cast<size_t>(j)], 1e-7);
+  }
+}
+
+/// Satellite: every compiled-and-runnable ISA path must produce correct SpMV
+/// results at remainder-lane sizes, and two identical calls must produce
+/// identical bits (reductions are a pure function of the operands within one
+/// ISA).
+TEST(SimdTest, SpmvRemainderLanesPerIsa) {
+  for (la::simd::Isa isa : la::simd::AvailableIsas()) {
+    ScopedIsa pin(isa);
+    for (int64_t n : kLaneSizes) {
+      Rng rng(100 + n);
+      const double density = std::min(1.0, 8.0 / static_cast<double>(n));
+      const la::CsrMatrix m = RandomSparse(n, n, density, &rng);
+      la::Vector x(static_cast<size_t>(n));
+      for (double& v : x) v = rng.Gaussian();
+      la::Vector y(static_cast<size_t>(n), -1.0);
+      la::Spmv(m, x.data(), y.data());
+      const la::DenseMatrix dense = la::ToDense(m);
+      for (int64_t i = 0; i < n; ++i) {
+        double expected = 0.0;
+        for (int64_t j = 0; j < n; ++j) {
+          expected += dense(i, j) * x[static_cast<size_t>(j)];
+        }
+        EXPECT_NEAR(y[static_cast<size_t>(i)], expected, 1e-10)
+            << la::simd::IsaName(isa) << " n=" << n << " row " << i;
+      }
+      la::Vector again(static_cast<size_t>(n), 7.0);
+      la::Spmv(m, x.data(), again.data());
+      EXPECT_EQ(y, again) << la::simd::IsaName(isa) << " n=" << n
+                          << ": SpMV not bit-stable within one ISA";
+    }
+  }
+}
+
+/// Satellite: the SELL-C-sigma form must agree with the CSR SpMV on every
+/// ISA — numerically everywhere, and bit-for-bit under scalar (the scalar
+/// SELL kernel walks each row's entries in CSR order, skipping padding).
+TEST(SimdTest, SellSpmvMatchesCsrPerIsa) {
+  for (la::simd::Isa isa : la::simd::AvailableIsas()) {
+    ScopedIsa pin(isa);
+    for (int64_t n : kLaneSizes) {
+      Rng rng(200 + n);
+      const double density = std::min(1.0, 8.0 / static_cast<double>(n));
+      const la::CsrMatrix m = RandomSparse(n, n, density, &rng);
+      la::SellMatrix sell;
+      la::BuildSellPattern(m, &sell);
+      la::FillSellValues(m.values, &sell);
+      la::Vector x(static_cast<size_t>(n));
+      for (double& v : x) v = rng.Gaussian();
+      la::Vector y_csr(static_cast<size_t>(n), -1.0);
+      la::Vector y_sell(static_cast<size_t>(n), -2.0);
+      la::Spmv(m, x.data(), y_csr.data());
+      la::SellSpmv(sell, x.data(), y_sell.data());
+      for (int64_t i = 0; i < n; ++i) {
+        if (isa == la::simd::Isa::kScalar) {
+          EXPECT_EQ(y_sell[static_cast<size_t>(i)],
+                    y_csr[static_cast<size_t>(i)])
+              << "scalar SELL must be bit-identical to CSR, n=" << n
+              << " row " << i;
+        } else {
+          EXPECT_NEAR(y_sell[static_cast<size_t>(i)],
+                      y_csr[static_cast<size_t>(i)], 1e-10)
+              << la::simd::IsaName(isa) << " n=" << n << " row " << i;
+        }
+      }
+    }
+  }
+}
+
+/// Satellite: element-wise kernels (axpy, scale, sigma_sub, scatter_axpy)
+/// must be bit-identical to scalar on EVERY ISA path — each output element
+/// is one separately-rounded mul + add, never an FMA (see la/simd_table.h).
+TEST(SimdTest, ElementWiseKernelsBitIdenticalAcrossIsas) {
+  for (int64_t n : kLaneSizes) {
+    Rng rng(300 + n);
+    la::Vector x(static_cast<size_t>(n)), y0(static_cast<size_t>(n));
+    for (double& v : x) v = rng.Gaussian();
+    for (double& v : y0) v = rng.Gaussian();
+    std::vector<int64_t> map(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) map[static_cast<size_t>(i)] = 2 * i;
+
+    // Scalar reference pass.
+    la::Vector axpy_ref, scale_ref, sig_ref, scat_ref;
+    {
+      ScopedIsa pin(la::simd::Isa::kScalar);
+      const la::simd::KernelTable* t = la::simd::ActiveTable();
+      axpy_ref = y0;
+      t->axpy(1.7, x.data(), axpy_ref.data(), n);
+      scale_ref = y0;
+      t->scale(0.3, scale_ref.data(), n);
+      sig_ref = y0;
+      t->sigma_sub(2.0, x.data(), sig_ref.data(), n);
+      scat_ref.assign(static_cast<size_t>(2 * n), 0.5);
+      t->scatter_axpy(0.9, x.data(), map.data(), n, scat_ref.data());
+    }
+    for (la::simd::Isa isa : la::simd::AvailableIsas()) {
+      if (isa == la::simd::Isa::kScalar) continue;
+      ScopedIsa pin(isa);
+      const la::simd::KernelTable* t = la::simd::ActiveTable();
+      la::Vector out = y0;
+      t->axpy(1.7, x.data(), out.data(), n);
+      EXPECT_EQ(out, axpy_ref) << la::simd::IsaName(isa) << " axpy n=" << n;
+      out = y0;
+      t->scale(0.3, out.data(), n);
+      EXPECT_EQ(out, scale_ref) << la::simd::IsaName(isa) << " scale n=" << n;
+      out = y0;
+      t->sigma_sub(2.0, x.data(), out.data(), n);
+      EXPECT_EQ(out, sig_ref) << la::simd::IsaName(isa)
+                              << " sigma_sub n=" << n;
+      out.assign(static_cast<size_t>(2 * n), 0.5);
+      t->scatter_axpy(0.9, x.data(), map.data(), n, out.data());
+      EXPECT_EQ(out, scat_ref) << la::simd::IsaName(isa)
+                               << " scatter_axpy n=" << n;
+    }
+  }
+}
+
+/// Satellite: reduction kernels must be numerically right and bit-stable
+/// within each ISA at every remainder-lane size.
+TEST(SimdTest, ReductionKernelsPerIsa) {
+  for (la::simd::Isa isa : la::simd::AvailableIsas()) {
+    ScopedIsa pin(isa);
+    const la::simd::KernelTable* t = la::simd::ActiveTable();
+    for (int64_t n : kLaneSizes) {
+      Rng rng(400 + n);
+      la::Vector x(static_cast<size_t>(n)), y(static_cast<size_t>(n));
+      for (double& v : x) v = rng.Gaussian();
+      for (double& v : y) v = rng.Gaussian();
+      long double dot_ref = 0.0L, dist_ref = 0.0L;
+      for (int64_t i = 0; i < n; ++i) {
+        const size_t s = static_cast<size_t>(i);
+        dot_ref += static_cast<long double>(x[s]) * y[s];
+        const long double d = static_cast<long double>(x[s]) - y[s];
+        dist_ref += d * d;
+      }
+      const double dot = t->dot(x.data(), y.data(), n);
+      const double dist = t->squared_distance(x.data(), y.data(), n);
+      const double tol = 1e-12 * static_cast<double>(n) + 1e-12;
+      EXPECT_NEAR(dot, static_cast<double>(dot_ref), tol)
+          << la::simd::IsaName(isa) << " dot n=" << n;
+      EXPECT_NEAR(dist, static_cast<double>(dist_ref), tol)
+          << la::simd::IsaName(isa) << " squared_distance n=" << n;
+      EXPECT_EQ(dot, t->dot(x.data(), y.data(), n));
+      EXPECT_EQ(dist, t->squared_distance(x.data(), y.data(), n));
+    }
   }
 }
 

@@ -21,6 +21,7 @@
 #include "graph/knn.h"
 #include "graph/laplacian.h"
 #include "la/dense.h"
+#include "la/simd.h"
 #include "la/sparse.h"
 #include "util/rng.h"
 #include "util/task_queue.h"
@@ -157,6 +158,58 @@ TEST(ThreadPoolTest, DefaultThreadsEnvParsing) {
     ScopedThreadsEnv env(bad);
     EXPECT_EQ(util::ThreadPool::DefaultThreads(), fallback)
         << "SGLA_THREADS='" << bad << "' must fall back";
+  }
+}
+
+/// Satellite hardening: SGLA_ISA follows the same contract as SGLA_THREADS —
+/// strict token parse, a [SGLA WARNING] plus auto-detect fallback on junk or
+/// host-unsupported names, silent auto-detect when unset. ResolveIsaSpec is
+/// the pure function first-use resolution runs on getenv("SGLA_ISA").
+TEST(SimdDispatchTest, SglaIsaEnvParsing) {
+  const std::vector<la::simd::Isa> available = la::simd::AvailableIsas();
+  ASSERT_FALSE(available.empty());
+  EXPECT_EQ(available.front(), la::simd::Isa::kScalar);
+  const la::simd::Isa best = available.back();
+
+  // Unset / empty: auto-detect picks the best available ISA, no warning.
+  for (const char* spec : {static_cast<const char*>(nullptr), ""}) {
+    std::string warning;
+    EXPECT_EQ(la::simd::ResolveIsaSpec(spec, &warning), best);
+    EXPECT_TRUE(warning.empty()) << warning;
+  }
+
+  // Every known token resolves to itself when the host can run it, and
+  // falls back (with a warning) when it cannot — which token does which
+  // depends on the build host, so exercise all four.
+  for (la::simd::Isa isa :
+       {la::simd::Isa::kScalar, la::simd::Isa::kNeon, la::simd::Isa::kAvx2,
+        la::simd::Isa::kAvx512}) {
+    std::string warning;
+    const la::simd::Isa resolved =
+        la::simd::ResolveIsaSpec(la::simd::IsaName(isa), &warning);
+    if (la::simd::IsaAvailable(isa)) {
+      EXPECT_EQ(resolved, isa);
+      EXPECT_TRUE(warning.empty()) << warning;
+      EXPECT_TRUE(la::simd::SetActiveForTesting(isa));
+      EXPECT_EQ(la::simd::ActiveIsa(), isa);
+    } else {
+      EXPECT_EQ(resolved, best);
+      EXPECT_NE(warning.find("[SGLA WARNING]"), std::string::npos)
+          << "unavailable ISA must warn, got: '" << warning << "'";
+      EXPECT_FALSE(la::simd::SetActiveForTesting(isa));
+    }
+  }
+  la::simd::SetActiveForTesting(best);
+
+  // Junk tokens: warn and auto-detect. Tokens are exact — no case folding,
+  // no whitespace trimming, no prefixes.
+  for (const char* junk :
+       {"garbage", "AVX2", " avx2", "avx2 ", "avx", "sse", "scalar,avx2"}) {
+    std::string warning;
+    EXPECT_EQ(la::simd::ResolveIsaSpec(junk, &warning), best)
+        << "SGLA_ISA='" << junk << "'";
+    EXPECT_NE(warning.find("[SGLA WARNING]"), std::string::npos)
+        << "SGLA_ISA='" << junk << "' must warn";
   }
 }
 

@@ -6,7 +6,13 @@
 // bits. Cross-compiler dumps are archived as artifacts for inspection
 // (different FP codegen may legitimately differ across compilers).
 //
-// Usage: sgla_bitdump [shards]   (thread count comes from SGLA_THREADS)
+// Hashes are compared only within one ISA path: reduction kernels associate
+// differently per ISA, so the job pins SGLA_ISA (or passes --isa) and diffs
+// dumps that share it. `--print-best-isa` lets the script discover the best
+// ISA the host can actually run.
+//
+// Usage: sgla_bitdump [--isa <name>] [--print-best-isa] [shards]
+//        (thread count comes from SGLA_THREADS)
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -20,6 +26,7 @@
 #include "core/objective.h"
 #include "core/view_laplacian.h"
 #include "data/generator.h"
+#include "la/simd.h"
 #include "serve/engine.h"
 #include "serve/graph_registry.h"
 #include "util/rng.h"
@@ -76,9 +83,11 @@ int Run(int shards) {
     return 1;
   }
   // Config goes to stderr: stdout must be byte-identical across every
-  // (SGLA_THREADS, shards) combination, so the CI job can plain `diff` it.
-  std::fprintf(stderr, "fixture n=%" PRId64 " k=%d views=%zu shards=%d\n", n,
-               k, (*entry)->views.size(), shards);
+  // (SGLA_THREADS, shards) combination within one ISA, so the CI job can
+  // plain `diff` it.
+  std::fprintf(stderr, "fixture n=%" PRId64 " k=%d views=%zu shards=%d isa=%s\n",
+               n, k, (*entry)->views.size(), shards,
+               la::simd::ActiveIsaName());
   for (size_t v = 0; v < (*entry)->views.size(); ++v) {
     std::printf("view[%zu] hash=%016" PRIx64 "\n", v,
                 HashCsr((*entry)->views[v]));
@@ -146,9 +155,25 @@ int Run(int shards) {
 
 int main(int argc, char** argv) {
   int shards = 1;
-  if (argc > 1) shards = std::atoi(argv[1]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--print-best-isa") == 0) {
+      std::printf("%s\n",
+                  sgla::la::simd::IsaName(
+                      sgla::la::simd::AvailableIsas().back()));
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--isa") == 0 && i + 1 < argc) {
+      // Equivalent to exporting SGLA_ISA before launch: the dispatcher reads
+      // the variable lazily on the first kernel call, which is after this.
+      setenv("SGLA_ISA", argv[++i], /*overwrite=*/1);
+      continue;
+    }
+    shards = std::atoi(argv[i]);
+  }
   if (shards < 1) {
-    std::fprintf(stderr, "usage: sgla_bitdump [shards>=1]\n");
+    std::fprintf(stderr,
+                 "usage: sgla_bitdump [--isa <name>] [--print-best-isa] "
+                 "[shards>=1]\n");
     return 2;
   }
   return sgla::Run(shards);
