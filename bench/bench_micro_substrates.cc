@@ -13,6 +13,7 @@
 
 #include "cluster/kmeans.h"
 #include "cluster/spectral_clustering.h"
+#include "coarse/coarsen.h"
 #include "core/aggregator.h"
 #include "core/objective.h"
 #include "core/sgla.h"
@@ -470,6 +471,59 @@ void BM_EngineSolveClusterSharded(benchmark::State& state) {
   state.SetLabel(la::simd::ActiveIsaName());
 }
 BENCHMARK(BM_EngineSolveClusterSharded)->Args({2000, 2})->Args({2000, 4});
+
+// Fast-tier serving: the whole SGLA+ pipeline on the coarse companion with
+// prolongation back to fine rows. Compare ns against BM_EngineSolveCluster
+// at the same Arg for the tiered-serving speedup the NMI-gap gate holds to.
+void BM_EngineSolveFastTier(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  serve::GraphRegistry registry;
+  auto registered = registry.RegisterViews("bench", f.views, 4);
+  if (!registered.ok()) {
+    state.SkipWithError("RegisterViews failed");
+    return;
+  }
+  if ((*registered)->coarse == nullptr) {
+    state.SkipWithError("no coarse companion");
+    return;
+  }
+  serve::EngineOptions options;
+  options.num_sessions = 1;
+  serve::Engine engine(&registry, options);
+  serve::SolveRequest request;
+  request.graph_id = "bench";
+  request.algorithm = serve::Algorithm::kSglaPlus;
+  request.quality = serve::Quality::kFast;
+  benchmark::DoNotOptimize(engine.Solve(request).ok());  // warm the session
+  const int64_t allocations_before =
+      g_allocations.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    auto response = engine.Solve(request);
+    benchmark::DoNotOptimize(response.ok());
+  }
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(g_allocations.load(std::memory_order_relaxed) -
+                          allocations_before),
+      benchmark::Counter::kAvgIterations);
+  state.SetLabel(la::simd::ActiveIsaName());
+}
+BENCHMARK(BM_EngineSolveFastTier)->Arg(512)->Arg(2000);
+
+// Registration-time cost of the coarse companion: the multilevel heavy-edge
+// matching over the union pattern plus the Galerkin contraction of one view.
+// This is what UpdateGraph pays again on an above-churn pattern delta.
+void BM_CoarsenGraph(benchmark::State& state) {
+  const Fixture& f = Fixture::Get(state.range(0));
+  core::LaplacianAggregator aggregator(&f.views);
+  for (auto _ : state) {
+    coarse::CoarsePlan plan =
+        coarse::BuildCoarsePlan(aggregator.pattern(), f.views);
+    la::CsrMatrix contracted = coarse::ContractView(f.views[0], plan);
+    benchmark::DoNotOptimize(contracted.values.data());
+  }
+  state.SetLabel(la::simd::ActiveIsaName());
+}
+BENCHMARK(BM_CoarsenGraph)->Arg(2000)->Arg(8000);
 
 // Steady-state incremental updates: a value-only delta (weight nudges on
 // existing edges) absorbed by UpdateGraph's copy-on-write epoch swap. The

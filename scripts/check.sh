@@ -105,7 +105,7 @@ if [[ "${bench_smoke}" == "1" ]]; then
   # machine-readable google-benchmark output; future PRs diff it.
   if [[ -x "${build_dir}/bench_micro_substrates" ]]; then
     "${build_dir}/bench_micro_substrates" \
-      --benchmark_filter='Engine|Isa' \
+      --benchmark_filter='Engine|Isa|Coarsen' \
       --benchmark_min_time=0.05 \
       --benchmark_out=BENCH_engine.json \
       --benchmark_out_format=json
@@ -123,7 +123,7 @@ if [[ "${rpc_load}" == "1" ]]; then
   # tiny — the gate (perf_gate.py --latency) watches for multiples, not
   # percents, so a short run is enough signal.
   "${build_dir}/sgla_loadgen" --clients 6 --requests 25 --nodes 400 \
-    --out BENCH_rpc.json
+    --fast-fraction 0.5 --out BENCH_rpc.json
   echo "check.sh: wrote BENCH_rpc.json"
   exit 0
 fi

@@ -67,13 +67,15 @@ P99_FAIL_RATIO = 4.0
 P99_WARN_RATIO = 2.0
 ALLOC_GATED = ("BM_EngineObjectiveSteadyState", "BM_EngineAggregateSteadyState")
 # Compute-bound benches whose cpu_time measures real work on the calling
-# thread. BM_EngineSolveCluster* and BM_EngineWarmResolveAfterUpdate are
-# deliberately absent: their solves run on session workers, so caller-thread
-# cpu_time is submit/wait overhead (scheduler noise on shared runners).
+# thread. BM_EngineSolveCluster*, BM_EngineSolveFastTier and
+# BM_EngineWarmResolveAfterUpdate are deliberately absent: their solves run
+# on session workers, so caller-thread cpu_time is submit/wait overhead
+# (scheduler noise on shared runners).
 TIMING_GATED = (
     "BM_EngineObjectiveSteadyState",
     "BM_EngineAggregateSteadyState",
     "BM_EngineUpdateGraphValueOnly",
+    "BM_CoarsenGraph",
 )
 
 
@@ -222,6 +224,13 @@ def latency_gate(baseline_path, current_path):
             print(f"  [i] {p}: baseline {base_v / 1e6:.3f} ms, "
                   f"current {cur_v / 1e6:.3f} ms, ratio "
                   f"{cur_v / base_v:.2f} (informational)")
+    # Fast-tier latencies ride along informationally: the nmi-gap gate owns
+    # the fast tier's speedup contract, this gate owns only the exact tail.
+    for p in ("p50", "p99"):
+        cur_v = current.get("fast_latency_ns", {}).get(p, 0)
+        if cur_v > 0:
+            print(f"  [i] fast {p}: current {cur_v / 1e6:.3f} ms "
+                  f"(informational; gated by the nmi-gap job)")
 
     for warning in warnings:
         print(f"WARNING: {warning}")

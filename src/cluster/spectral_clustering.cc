@@ -57,7 +57,10 @@ Status SpectralClusteringInto(const la::CsrMatrix& laplacian, int k,
                               const KMeansOptions& kmeans,
                               SpectralWorkspace* workspace,
                               std::vector<int32_t>* out,
-                              const util::ShardContext* shards) {
+                              const util::ShardContext* shards,
+                              const la::DenseMatrix* warm_start,
+                              la::DenseMatrix* ritz_out,
+                              la::LanczosStats* stats) {
   if (k < 1) return InvalidArgument("spectral embedding needs k >= 1");
   const bool sharded = shards != nullptr && shards->num_shards > 1;
   if (sharded) {
@@ -65,6 +68,7 @@ Status SpectralClusteringInto(const la::CsrMatrix& laplacian, int k,
         << "clustering shard partition does not cover the Laplacian";
   }
   la::LanczosOptions lanczos;  // defaults match SpectralEmbeddingOptions
+  lanczos.warm_start = warm_start;
   Status solved;
   if (sharded && !la::UsesDenseFallback(laplacian.rows, k)) {
     ShardedCsrSpmv ctx{&laplacian, shards};
@@ -74,13 +78,16 @@ Status SpectralClusteringInto(const la::CsrMatrix& laplacian, int k,
     op.ctx = &ctx;
     solved = la::SmallestEigenpairsInto(
         op, k, SpectralEmbeddingOptions().spectrum_upper_bound, lanczos,
-        &workspace->lanczos, &workspace->eigen);
+        &workspace->lanczos, &workspace->eigen, stats);
   } else {
     solved = la::SmallestEigenpairsInto(
         laplacian, k, SpectralEmbeddingOptions().spectrum_upper_bound,
-        lanczos, &workspace->lanczos, &workspace->eigen);
+        lanczos, &workspace->lanczos, &workspace->eigen, stats);
   }
   if (!solved.ok()) return solved;
+  // Banked *before* row normalization: normalizing is irreversible and the
+  // normalized rows no longer span the Ritz subspace a warm start needs.
+  if (ritz_out != nullptr) *ritz_out = workspace->eigen.vectors;
   la::NormalizeRows(&workspace->eigen.vectors);
   KMeansInto(workspace->eigen.vectors, k, kmeans, &workspace->kmeans,
              &workspace->kmeans_result, sharded ? shards : nullptr);

@@ -1,9 +1,11 @@
 #include "la/dense.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "la/simd.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace sgla {
 namespace la {
@@ -118,6 +120,20 @@ void NormalizeRows(DenseMatrix* m) {
     const double norm = Norm2(row, m->cols());
     if (norm > 1e-300) Scale(1.0 / norm, row, m->cols());
   }
+}
+
+void ProlongateRows(const DenseMatrix& src, const std::vector<int64_t>& map,
+                    DenseMatrix* out) {
+  const int64_t rows = static_cast<int64_t>(map.size());
+  const int64_t cols = src.cols();
+  out->Reshape(rows, cols);
+  util::ThreadPool::Global().ParallelFor(
+      0, rows, 512, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const double* srow = src.Row(map[i]);
+          std::copy(srow, srow + cols, out->Row(i));
+        }
+      });
 }
 
 }  // namespace la

@@ -72,6 +72,16 @@ DenseMatrix HConcat(const std::vector<const DenseMatrix*>& blocks);
 /// Normalizes every row to unit L2 norm (zero rows stay zero).
 void NormalizeRows(DenseMatrix* m);
 
+/// Row-gather prolongation: reshapes `out` to map.size() x src.cols() and
+/// copies out.Row(i) = src.Row(map[i]). The serving layer's fast tier lifts
+/// coarse-graph embeddings and Ritz vectors back to fine rows with this.
+/// Chunked ParallelFor over fixed row windows; a pure element-wise copy, so
+/// the result is bit-identical at any thread count and on every ISA path.
+/// Steady-state calls at a fixed shape are allocation-free (Reshape reuses
+/// capacity).
+void ProlongateRows(const DenseMatrix& src, const std::vector<int64_t>& map,
+                    DenseMatrix* out);
+
 /// Solves (A + ridge I) x = b for small dense A by Gaussian elimination with
 /// partial pivoting. Near-singular pivots yield zero components rather than
 /// NaNs — callers use this for least-squares normal equations where the

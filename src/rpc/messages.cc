@@ -203,23 +203,26 @@ void EncodeSolveRequest(const SolveWireRequest& msg, WireWriter* w) {
   w->I32(msg.k);
   w->U8(msg.warm_start ? 1 : 0);
   w->U8(msg.coalesce ? 1 : 0);
+  w->U8(static_cast<uint8_t>(msg.quality));
 }
 
 bool DecodeSolveRequest(WireReader* r, SolveWireRequest* msg) {
-  uint8_t mode, algorithm, warm_start, coalesce;
+  uint8_t mode, algorithm, warm_start, coalesce, quality;
   if (!r->Str(&msg->graph_id) || !r->U8(&mode) || !r->U8(&algorithm) ||
       !r->I32(&msg->k) || !r->U8(&warm_start) || !r->U8(&coalesce) ||
-      !r->Finish()) {
+      !r->U8(&quality) || !r->Finish()) {
     return false;
   }
   if (mode > static_cast<uint8_t>(serve::SolveMode::kEmbed)) return false;
   if (algorithm > static_cast<uint8_t>(serve::Algorithm::kSglaPlus)) {
     return false;
   }
+  if (quality > static_cast<uint8_t>(serve::Quality::kRefined)) return false;
   msg->mode = static_cast<serve::SolveMode>(mode);
   msg->algorithm = static_cast<serve::Algorithm>(algorithm);
   msg->warm_start = warm_start != 0;
   msg->coalesce = coalesce != 0;
+  msg->quality = static_cast<serve::Quality>(quality);
   return true;
 }
 
@@ -229,6 +232,7 @@ void EncodeSolveReply(const SolveReply& msg, WireWriter* w) {
   w->I64(msg.graph_epoch);
   w->U8(msg.warm_started ? 1 : 0);
   w->I64(msg.lanczos_iterations);
+  w->U8(msg.tier_served);
   if (msg.mode == static_cast<uint8_t>(serve::SolveMode::kCluster)) {
     w->I32Vec(msg.labels);
   } else {
@@ -242,7 +246,10 @@ bool DecodeSolveReply(WireReader* r, SolveReply* msg) {
   uint8_t warm_started;
   if (!r->U8(&msg->mode) || !r->F64Vec(&msg->weights) ||
       !r->I64(&msg->graph_epoch) || !r->U8(&warm_started) ||
-      !r->I64(&msg->lanczos_iterations)) {
+      !r->I64(&msg->lanczos_iterations) || !r->U8(&msg->tier_served)) {
+    return false;
+  }
+  if (msg->tier_served > static_cast<uint8_t>(serve::Quality::kRefined)) {
     return false;
   }
   msg->warm_started = warm_started != 0;

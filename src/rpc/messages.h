@@ -63,8 +63,13 @@ struct SolveWireRequest {
   int32_t k = 0;  ///< 0 = the graph's registered default
   bool warm_start = false;
   /// Ask the server to coalesce with identical in-flight solves (default on:
-  /// wire-identical requests are semantically identical; see above).
+  /// wire-identical requests are semantically identical; see above). The
+  /// coalescing key includes `quality`, so a fast solve in flight never
+  /// answers an exact request.
   bool coalesce = true;
+  /// Serving tier (see serve::Quality). Graphs without a coarse companion
+  /// quietly serve exact; the reply's tier_served says what actually ran.
+  serve::Quality quality = serve::Quality::kExact;
 };
 
 struct SolveReply {
@@ -73,6 +78,8 @@ struct SolveReply {
   int64_t graph_epoch = 0;
   bool warm_started = false;
   int64_t lanczos_iterations = 0;
+  /// serve::Quality that actually served the solve (kExact on fallback).
+  uint8_t tier_served = 0;
   std::vector<int32_t> labels;  ///< kCluster
   la::DenseMatrix embedding;    ///< kEmbed
 };

@@ -345,6 +345,7 @@ void Server::DispatchSolve(Connection* conn, uint64_t request_id,
   request.algorithm = wire.algorithm;
   request.k = wire.k;
   request.warm_start = wire.warm_start;
+  request.quality = wire.quality;
 
   serve::SubmitOptions submit;
   submit.coalesce = wire.coalesce && options_.allow_coalescing;
@@ -367,6 +368,7 @@ void Server::DispatchSolve(Connection* conn, uint64_t request_id,
           reply.graph_epoch = result->stats.graph_epoch;
           reply.warm_started = result->stats.warm_started;
           reply.lanczos_iterations = result->stats.lanczos_iterations;
+          reply.tier_served = static_cast<uint8_t>(result->stats.tier_served);
           reply.labels = result->labels;
           reply.embedding = result->embedding;
           WireWriter w;

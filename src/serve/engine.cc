@@ -13,6 +13,7 @@ namespace serve {
 
 Engine::Engine(GraphRegistry* registry, const EngineOptions& options)
     : registry_(registry),
+      cache_(options.cache_capacity),
       warm_cache_(options.warm_cache),
       max_pending_(options.max_pending),
       workspaces_(static_cast<size_t>(std::max(1, options.num_sessions))),
@@ -99,9 +100,13 @@ Status Engine::TrySubmit(SolveRequest request, SolveCallback done,
     return NotFound("graph '" + request.graph_id + "' is not registered");
   }
   // The coalescing key needs the *effective* k (0 = the graph's default).
+  // Quality is the *requested* tier: two fast requests coalesce even on a
+  // graph that will fall back to exact, and a fast flight never answers an
+  // exact request.
   const int k = request.k > 0 ? request.k : entry->num_clusters;
   const SolveCache::Key key{request.graph_id, static_cast<int>(request.mode),
-                            static_cast<int>(request.algorithm), k};
+                            static_cast<int>(request.algorithm), k,
+                            static_cast<int>(request.quality)};
 
   std::shared_ptr<Flight> flight;
   {
@@ -220,38 +225,85 @@ Result<SolveResponse> Engine::Run(const SolveRequest& request,
                                   SessionWorkspace* ws) {
   const int k = request.k > 0 ? request.k : entry.num_clusters;
 
+  // Tier resolution: fast/refined need the coarse companion; entries
+  // without one (coarsening disabled, tiny graph, matching achieved no
+  // reduction) quietly serve exact.
+  const CoarseGraphEntry* coarse = entry.coarse.get();
+  Quality quality = request.quality;
+  if (coarse == nullptr) quality = Quality::kExact;
+  const bool fast = quality == Quality::kFast;
+  const int64_t solve_rows =
+      fast ? coarse->plan.coarse_rows : entry.num_nodes;
+
   // Warm start: seed the weight search and every objective eigensolve from
-  // the cached previous solve of this exact (graph, mode, algorithm, k).
-  // The entry is an immutable snapshot (shared_ptr), so a concurrent Store
-  // for the same key cannot mutate the seed mid-solve. Cold requests take
-  // the historical trajectory untouched.
+  // the cached previous solve of this exact (graph, mode, algorithm, k,
+  // quality). The entry is an immutable snapshot (shared_ptr), so a
+  // concurrent Store for the same key cannot mutate the seed mid-solve.
+  // Cold requests take the historical trajectory untouched. The key carries
+  // the *resolved* quality: fast-tier entries are coarse-sized and must
+  // never collide with exact ones.
   const SolveCache::Key cache_key{request.graph_id,
                                   static_cast<int>(request.mode),
-                                  static_cast<int>(request.algorithm), k};
+                                  static_cast<int>(request.algorithm), k,
+                                  static_cast<int>(quality)};
   std::shared_ptr<const SolveCache::Entry> warm;
   if (request.warm_start) {
     warm = cache_.Lookup(cache_key);
     // The lineage stamp rejects seeds banked by a solve of a *previous
     // registration* under this id (a late Store can land after EvictGraph
     // invalidated the bank); updates keep their lineage, so seeds survive
-    // epochs exactly as intended.
+    // epochs exactly as intended. num_nodes guards against size drift —
+    // for the fast tier that is the coarse row count.
     if (warm != nullptr && (warm->lineage != entry.lineage ||
-                            warm->num_nodes != entry.num_nodes)) {
+                            warm->num_nodes != solve_rows)) {
       warm = nullptr;
     }
   }
   core::SglaPlusOptions options = request.options;
+  Quality tier_served = fast ? Quality::kFast : Quality::kExact;
+  int64_t coarse_iterations = 0;
   if (warm != nullptr) {
     options.base.objective.warm_start = &warm->ritz_vectors;
     options.base.initial_weights = warm->weights;
+  } else if (quality == Quality::kRefined) {
+    // Refined tier, no banked seed: solve the coarse companion first, then
+    // seed the exact solve from it — the coarse optimal weights carry over
+    // directly and the coarse Ritz vectors prolongate to fine rows (the
+    // classic multigrid initial guess). A banked seed above supersedes this
+    // (it is already fine-sized and closer); a failed pre-solve falls back
+    // to a cold exact solve rather than failing the request.
+    Result<core::IntegrationResult> presolve =
+        request.algorithm == Algorithm::kSgla
+            ? core::SglaOnAggregator(*coarse->aggregator, k,
+                                     request.options.base, &ws->coarse_eval)
+            : core::SglaPlusOnAggregator(*coarse->aggregator, k,
+                                         request.options, &ws->coarse_eval);
+    if (presolve.ok() &&
+        ws->coarse_eval.eigen.vectors.rows() == coarse->plan.coarse_rows &&
+        ws->coarse_eval.eigen.vectors.cols() > 0) {
+      la::ProlongateRows(ws->coarse_eval.eigen.vectors,
+                         coarse->plan.fine_to_coarse, &ws->prolong_ritz);
+      options.base.objective.warm_start = &ws->prolong_ritz;
+      options.base.initial_weights = presolve->weights;
+      tier_served = Quality::kRefined;
+      coarse_iterations = presolve->lanczos_iterations;
+    }
   }
 
   // Sharded entries run every hot kernel (aggregation, Lanczos mat-vecs,
   // k-means assignment) as per-shard TaskQueue jobs; the two paths are
-  // bit-identical by construction and asserted so in tests.
-  const bool sharded = entry.sharded != nullptr;
+  // bit-identical by construction and asserted so in tests. The fast tier
+  // never shards — coarse companions are small by construction — and runs
+  // in the coarse-sized workspace so tiered and exact solves on one session
+  // don't evict each other's bound patterns.
+  const bool sharded = !fast && entry.sharded != nullptr;
   Result<core::IntegrationResult> integration =
-      sharded
+      fast ? (request.algorithm == Algorithm::kSgla
+                  ? core::SglaOnAggregator(*coarse->aggregator, k,
+                                           options.base, &ws->coarse_eval)
+                  : core::SglaPlusOnAggregator(*coarse->aggregator, k,
+                                               options, &ws->coarse_eval))
+      : sharded
           ? (request.algorithm == Algorithm::kSgla
                  ? core::SglaOnShards(entry.sharded->aggregator, k,
                                       options.base, &ws->sharded_eval)
@@ -270,46 +322,79 @@ Result<SolveResponse> Engine::Run(const SolveRequest& request,
   response.stats.graph_epoch = entry.epoch;
   response.stats.warm_started = warm != nullptr;
   response.stats.lanczos_iterations = response.integration.lanczos_iterations;
+  response.stats.tier_served = tier_served;
+  response.stats.coarse_lanczos_iterations = coarse_iterations;
 
   // Bank the last evaluation's spectrum for future warm starts (a probe
   // point near w* — the final aggregation runs no eigensolve, and "near the
   // updated spectrum" is all a refinement seed needs). Skip when that
-  // eigensolve ran on an SGLA+ node-sampled subgraph (wrong size to seed a
-  // full solve), when banking is disabled, or when the graph was evicted or
-  // replaced mid-solve — the lineage re-check keeps a late-finishing solve
-  // from parking an unusable (lineage-mismatched) matrix in the bank that
-  // EvictGraph already invalidated. An eviction racing the tiny window
-  // between this check and Store can still leave one stale entry; it is
-  // unusable (the lookup's lineage guard rejects it) and overwritten by the
-  // replacement's next solve.
+  // eigensolve ran at the wrong size (an SGLA+ node-sampled subgraph cannot
+  // seed a full solve), when banking is disabled, or when the graph was
+  // evicted or replaced mid-solve — the lineage re-check keeps a
+  // late-finishing solve from parking an unusable (lineage-mismatched)
+  // matrix in the bank that EvictGraph already invalidated. An eviction
+  // racing the tiny window between this check and Store can still leave one
+  // stale entry; it is unusable (the lookup's lineage guard rejects it) and
+  // overwritten by the replacement's next solve. The entry is assembled
+  // here but stored after the output stage, so the clustering eigensolve's
+  // un-normalized eigenvectors bank alongside the objective Ritz pairs.
   const la::Eigenpairs& eigen =
-      sharded ? ws->sharded_eval.base.eigen : ws->eval.eigen;
+      fast ? ws->coarse_eval.eigen
+           : (sharded ? ws->sharded_eval.base.eigen : ws->eval.eigen);
   const std::shared_ptr<const GraphEntry> current =
       registry_->Find(request.graph_id);
-  if (warm_cache_ && current != nullptr &&
-      current->lineage == entry.lineage &&
-      eigen.vectors.rows() == entry.num_nodes && eigen.vectors.cols() > 0) {
-    SolveCache::Entry banked;
+  const bool bankable =
+      warm_cache_ && current != nullptr && current->lineage == entry.lineage &&
+      eigen.vectors.rows() == solve_rows && eigen.vectors.cols() > 0;
+  SolveCache::Entry banked;
+  if (bankable) {
     banked.lineage = entry.lineage;
     banked.epoch = entry.epoch;
-    banked.num_nodes = entry.num_nodes;
+    banked.num_nodes = solve_rows;
     banked.weights = response.integration.weights;
     banked.ritz_vectors = eigen.vectors;
-    cache_.Store(cache_key, std::move(banked));
   }
   if (request.mode == SolveMode::kCluster) {
-    const util::ShardContext shards =
-        sharded ? entry.sharded->aggregator.context() : util::ShardContext();
-    Status clustered = cluster::SpectralClusteringInto(
-        response.integration.laplacian, k, request.kmeans, &ws->cluster,
-        &response.labels, sharded ? &shards : nullptr);
-    if (!clustered.ok()) return clustered;
+    // The embedding eigensolve warm-starts from the banked un-normalized
+    // embedding of the previous solve at this key, independently of the
+    // objective seed (both ride the same cache entry).
+    const la::DenseMatrix* warm_embedding =
+        warm != nullptr && warm->embedding_ritz.rows() == solve_rows &&
+                warm->embedding_ritz.cols() > 0
+            ? &warm->embedding_ritz
+            : nullptr;
+    la::DenseMatrix* ritz_out = bankable ? &banked.embedding_ritz : nullptr;
+    la::LanczosStats embed_stats;
+    if (fast) {
+      Status clustered = cluster::SpectralClusteringInto(
+          response.integration.laplacian, k, request.kmeans,
+          &ws->coarse_cluster, &ws->coarse_labels, nullptr, warm_embedding,
+          ritz_out, &embed_stats);
+      if (!clustered.ok()) return clustered;
+      coarse::ProlongateLabels(coarse->plan, ws->coarse_labels,
+                               &response.labels);
+    } else {
+      const util::ShardContext shards =
+          sharded ? entry.sharded->aggregator.context() : util::ShardContext();
+      Status clustered = cluster::SpectralClusteringInto(
+          response.integration.laplacian, k, request.kmeans, &ws->cluster,
+          &response.labels, sharded ? &shards : nullptr, warm_embedding,
+          ritz_out, &embed_stats);
+      if (!clustered.ok()) return clustered;
+    }
+    response.stats.embedding_lanczos_iterations = embed_stats.iterations;
   } else {
     auto embedding =
         embed::NetMf(response.integration.laplacian, request.netmf);
     if (!embedding.ok()) return embedding.status();
-    response.embedding = std::move(*embedding);
+    if (fast) {
+      la::ProlongateRows(*embedding, coarse->plan.fine_to_coarse,
+                         &response.embedding);
+    } else {
+      response.embedding = std::move(*embedding);
+    }
   }
+  if (bankable) cache_.Store(cache_key, std::move(banked));
   return response;
 }
 

@@ -35,6 +35,26 @@ enum class Algorithm {
   kSglaPlus,  ///< surrogate sampling (constant number of eigensolves)
 };
 
+/// Serving tier of a solve (see DESIGN.md "Tiered serving").
+enum class Quality {
+  /// Full-resolution solve on the registered views — today's exact path,
+  /// bit-identical at any thread/shard count.
+  kExact,
+  /// The whole pipeline (weight search + clustering/embedding) runs on the
+  /// graph's coarse companion and the result prolongates back to fine rows:
+  /// labels copy through the prolongation map, embeddings row-gather.
+  /// Roughly an order of magnitude cheaper at the default coarsen_ratio;
+  /// approximate by construction (response.integration.laplacian is
+  /// coarse-sized). Entries without a companion quietly serve exact.
+  kFast,
+  /// Fast's coarse solve first, then the exact solve seeded from it: the
+  /// coarse optimal weights become initial_weights and the prolongated
+  /// coarse Ritz vectors warm-start every objective eigensolve. Exact-sized
+  /// output, strictly fewer Lanczos iterations than a cold exact solve —
+  /// but, like any warm start, not bit-identical to one.
+  kRefined,
+};
+
 struct SolveRequest {
   std::string graph_id;
   SolveMode mode = SolveMode::kCluster;
@@ -52,6 +72,10 @@ struct SolveRequest {
   /// are NOT bit-identical to cold ones (the default, which keeps today's
   /// exact trajectory). Silently cold when the cache has no usable entry.
   bool warm_start = false;
+  /// Serving tier. Tier participates in both the SolveCache key and the
+  /// coalescing key, so a fast solve can never seed, mask, or be masked by
+  /// an exact one.
+  Quality quality = Quality::kExact;
   /// `options.base` configures kSgla; the full struct configures kSglaPlus.
   core::SglaPlusOptions options;
   cluster::KMeansOptions kmeans;  ///< kCluster backend
@@ -66,6 +90,16 @@ struct SolveStats {
   /// seed cannot apply to subgraph-sized solves.
   bool warm_started = false;
   int64_t lanczos_iterations = 0;  ///< basis vectors built across the solve
+  /// The tier that actually served the request: kExact for exact solves and
+  /// for tiered requests that fell back (no coarse companion, or a refined
+  /// request that found a cache seed / whose coarse pre-solve failed).
+  Quality tier_served = Quality::kExact;
+  /// Basis vectors the refined tier's coarse pre-solve built (0 elsewhere);
+  /// `lanczos_iterations` above stays the main integration's count, so
+  /// refined-vs-cold comparisons read it directly.
+  int64_t coarse_lanczos_iterations = 0;
+  /// Basis vectors of the clustering embedding eigensolve (0 for kEmbed).
+  int64_t embedding_lanczos_iterations = 0;
 };
 
 struct SolveResponse {
@@ -94,6 +128,11 @@ struct EngineOptions {
   /// TaskQueue backlog. Coalesced joins ride an already-admitted solve and
   /// are never rejected by this bound.
   int64_t max_pending = 0;
+  /// Maximum SolveCache entries kept. 0 (default) is unbounded; > 0 makes
+  /// the warm-start bank an LRU — long-lived engines serving many
+  /// (graph, mode, algorithm, k, quality) combinations stop growing without
+  /// bound, at the cost of re-cold-starting evicted keys.
+  size_t cache_capacity = 0;
 };
 
 /// Per-call submission knobs for the callback form.
@@ -172,9 +211,11 @@ class Engine {
   /// unknown id, ResourceExhausted when `max_pending` accepted solves are
   /// already in flight — and the callback never fires. With
   /// `options.coalesce`, a request identical to an in-flight coalescable
-  /// solve (same graph_id/mode/algorithm/effective k/warm_start) joins that
-  /// solve: its callback receives the shared response, no new work is
-  /// queued, and coalesced() ticks instead of completed().
+  /// solve (same graph_id/mode/algorithm/effective k/quality/warm_start)
+  /// joins that solve: its callback receives the shared response, no new
+  /// work is queued, and coalesced() ticks instead of completed(). Quality
+  /// is part of the key, so a fast solve in flight never answers an exact
+  /// request (or vice versa).
   Status TrySubmit(SolveRequest request, SolveCallback done,
                    const SubmitOptions& options = {});
 
@@ -217,6 +258,14 @@ class Engine {
     core::EvalWorkspace eval;
     core::ShardedEvalWorkspace sharded_eval;
     cluster::SpectralWorkspace cluster;
+    /// Coarse-tier scratch, sized by the coarse companion (~ratio * n): the
+    /// fast tier's whole pipeline and the refined tier's pre-solve run here,
+    /// so tiered and exact solves never fight over one workspace's bound
+    /// pattern. Coarse solves are never sharded — companions are small.
+    core::EvalWorkspace coarse_eval;
+    cluster::SpectralWorkspace coarse_cluster;
+    std::vector<int32_t> coarse_labels;  ///< pre-prolongation labels
+    la::DenseMatrix prolong_ritz;  ///< refined tier's prolongated seed
   };
 
   Result<SolveResponse> Run(const SolveRequest& request,
@@ -237,12 +286,14 @@ class Engine {
   };
 
   GraphRegistry* registry_;
-  /// Warm-start bank: last solve's weights + Ritz vectors per
-  /// (graph_id, mode, algorithm, k); read when a request sets warm_start,
-  /// written (when options.warm_cache) after every successful integration
-  /// whose final eigensolve ran full-size. Entries are lineage-stamped, so
-  /// they survive graph updates but can never seed a re-registered id.
-  /// Dropped on EvictGraph.
+  /// Warm-start bank: last solve's weights + objective Ritz vectors +
+  /// embedding eigenvectors per (graph_id, mode, algorithm, k, quality);
+  /// read when a request sets warm_start, written (when options.warm_cache)
+  /// after every successful solve whose final eigensolve ran at the solve's
+  /// size (fast-tier entries are coarse-sized and keyed apart by quality).
+  /// Entries are lineage-stamped, so they survive graph updates but can
+  /// never seed a re-registered id. Dropped on EvictGraph; bounded by
+  /// EngineOptions::cache_capacity (LRU).
   SolveCache cache_;
   bool warm_cache_ = true;
   int64_t max_pending_ = 0;

@@ -14,6 +14,63 @@ uint64_t NextLineage() {
   return ++counter;
 }
 
+// Coarse-companion policy. Above this fraction of structurally-changed fine
+// rows, UpdateGraph abandons localized plan repair and re-coarsens from
+// scratch (a repaired plan stays valid but drifts from what a fresh matching
+// would build); below the row floor, registration skips the companion — the
+// exact solve is already cheap there.
+constexpr double kCoarseChurnThreshold = 0.05;
+constexpr int64_t kMinCoarsenFineRows = 64;
+
+// Contracts view `v` onto the coarse node set. Graph views contract directly
+// (Galerkin similarity + re-normalize); attribute views average the fine
+// attribute rows per cluster and re-run that view's KNN on the coarse
+// attributes, so the coarse view reflects coarse-level neighborhoods instead
+// of a contraction of fine KNN edges. Without a source graph (RegisterViews)
+// every view contracts directly — the registry cannot tell them apart.
+Result<la::CsrMatrix> ContractOneView(
+    const std::vector<la::CsrMatrix>& fine_views,
+    const coarse::CoarsePlan& plan, const core::MultiViewGraph* mvag,
+    const graph::KnnOptions& knn, size_t v) {
+  const size_t num_graph_views =
+      mvag == nullptr ? fine_views.size() : mvag->graph_views().size();
+  if (v < num_graph_views) {
+    return coarse::ContractView(fine_views[v], plan);
+  }
+  const la::DenseMatrix& attributes =
+      mvag->attribute_views()[v - num_graph_views];
+  core::MultiViewGraph coarse_mvag(plan.coarse_rows, 0);
+  coarse_mvag.AddAttributeView(coarse::AverageRows(attributes, plan));
+  return core::ComputeViewLaplacian(coarse_mvag, 0, knn);
+}
+
+// Builds the coarse companion for `entry` from scratch, or null when
+// coarsening is off, the graph is too small, or the matching achieved no
+// reduction. The companion is best-effort: a view that fails to contract
+// (degenerate coarse KNN) drops the companion rather than the registration.
+std::unique_ptr<const CoarseGraphEntry> BuildCoarseEntry(
+    const GraphEntry& entry, const core::MultiViewGraph* mvag,
+    const graph::KnnOptions& knn, double ratio) {
+  if (ratio <= 0.0 || entry.num_nodes < kMinCoarsenFineRows) return nullptr;
+  coarse::CoarsenOptions options;
+  options.ratio = ratio;
+  std::unique_ptr<CoarseGraphEntry> companion(new CoarseGraphEntry);
+  companion->plan = coarse::BuildCoarsePlan(entry.aggregator->pattern(),
+                                            entry.views, options);
+  if (companion->plan.coarse_rows >= entry.num_nodes ||
+      companion->plan.coarse_rows < 2) {
+    return nullptr;
+  }
+  companion->views.reserve(entry.views.size());
+  for (size_t v = 0; v < entry.views.size(); ++v) {
+    auto view = ContractOneView(entry.views, companion->plan, mvag, knn, v);
+    if (!view.ok()) return nullptr;
+    companion->views.push_back(std::move(*view));
+  }
+  companion->aggregator.reset(new core::LaplacianAggregator(&companion->views));
+  return std::unique_ptr<const CoarseGraphEntry>(companion.release());
+}
+
 }  // namespace
 
 std::shared_ptr<util::TaskQueue> GraphRegistry::ShardQueue() {
@@ -28,7 +85,7 @@ std::shared_ptr<util::TaskQueue> GraphRegistry::ShardQueue() {
 
 Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Publish(
     std::shared_ptr<GraphEntry> entry, const RegisterOptions& options,
-    std::shared_ptr<GraphSource> source) {
+    std::shared_ptr<GraphSource> source, const core::MultiViewGraph* mvag) {
   entry->aggregator.reset(new core::LaplacianAggregator(&entry->views));
   if (options.shards > 1 && entry->num_nodes > 0) {
     ShardPlan plan = MakeShardPlan(entry->num_nodes, options.shards);
@@ -42,6 +99,10 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Publish(
                                                    ShardQueue())});
     }
   }
+  entry->coarsen_ratio = options.coarsen_ratio > 0.0 ? options.coarsen_ratio
+                                                     : 0.0;
+  entry->coarse = BuildCoarseEntry(*entry, mvag, options.knn,
+                                   entry->coarsen_ratio);
   std::shared_ptr<const GraphEntry> published = std::move(entry);
   std::lock_guard<std::mutex> lock(mutex_);
   auto inserted = graphs_.emplace(published->id, published);
@@ -78,7 +139,7 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Register(
     source->mvag = mvag;
     source->knn = options.knn;
   }
-  return Publish(std::move(entry), options, std::move(source));
+  return Publish(std::move(entry), options, std::move(source), &mvag);
 }
 
 Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Register(
@@ -101,7 +162,7 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::RegisterViews(
   entry->num_nodes = views[0].rows;
   entry->num_clusters = num_clusters;
   entry->views = std::move(views);
-  return Publish(std::move(entry), options, nullptr);
+  return Publish(std::move(entry), options, nullptr, nullptr);
 }
 
 Result<std::shared_ptr<const GraphEntry>> GraphRegistry::UpdateGraph(
@@ -162,6 +223,14 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::UpdateGraph(
   entry->num_clusters = old->num_clusters;
   entry->views = old->views;
   bool value_only = true;
+  // Fine rows whose *structural* slots changed in some view, and their count
+  // (churn). The coarse plan is a pure function of structure, so these rows
+  // are exactly the ones that can invalidate it.
+  std::vector<bool> changed_rows;
+  int64_t churn = 0;
+  if (old->coarse != nullptr) {
+    changed_rows.assign(static_cast<size_t>(old->num_nodes), false);
+  }
   for (size_t v = 0; v < affected.size(); ++v) {
     if (!affected[v]) continue;
     auto laplacian =
@@ -170,9 +239,29 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::UpdateGraph(
     // Unreachable after validation; if it ever fires the source may lead the
     // published epoch — evict and re-register to resynchronize.
     if (!laplacian.ok()) return laplacian.status();
-    value_only = value_only &&
-                 laplacian->row_ptr == old->views[v].row_ptr &&
-                 laplacian->col_idx == old->views[v].col_idx;
+    const bool same_pattern = laplacian->row_ptr == old->views[v].row_ptr &&
+                              laplacian->col_idx == old->views[v].col_idx;
+    value_only = value_only && same_pattern;
+    if (!same_pattern && old->coarse != nullptr) {
+      const la::CsrMatrix& now = *laplacian;
+      const la::CsrMatrix& was = old->views[v];
+      for (int64_t i = 0; i < old->num_nodes; ++i) {
+        if (changed_rows[static_cast<size_t>(i)]) continue;
+        const int64_t begin = now.row_ptr[static_cast<size_t>(i)];
+        const int64_t count = now.row_ptr[static_cast<size_t>(i) + 1] - begin;
+        const int64_t was_begin = was.row_ptr[static_cast<size_t>(i)];
+        bool diff =
+            count != was.row_ptr[static_cast<size_t>(i) + 1] - was_begin;
+        for (int64_t p = 0; !diff && p < count; ++p) {
+          diff = now.col_idx[static_cast<size_t>(begin + p)] !=
+                 was.col_idx[static_cast<size_t>(was_begin + p)];
+        }
+        if (diff) {
+          changed_rows[static_cast<size_t>(i)] = true;
+          ++churn;
+        }
+      }
+    }
     entry->views[v] = std::move(*laplacian);
   }
 
@@ -191,6 +280,59 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::UpdateGraph(
         std::move(plan),
         core::ShardedAggregator(&entry->views, old->sharded->aggregator,
                                 affected)});
+  }
+
+  // Coarse companion maintenance (DESIGN.md "Tiered serving"). Value-only
+  // deltas provably preserve the plan, so only the touched views re-contract
+  // — and when their coarse patterns survive too, the coarse aggregator
+  // donor-copies like the fine one. Localized structural churn repairs the
+  // affected clusters in place; heavy churn re-coarsens from scratch (which
+  // also makes update-then-solve equal re-register-then-solve above the
+  // threshold).
+  entry->coarsen_ratio = old->coarsen_ratio;
+  if (old->coarse != nullptr) {
+    const double churn_limit =
+        kCoarseChurnThreshold * static_cast<double>(entry->num_nodes);
+    std::unique_ptr<CoarseGraphEntry> companion;
+    if (static_cast<double>(churn) <= churn_limit) {
+      companion.reset(new CoarseGraphEntry);
+      companion->plan = old->coarse->plan;
+      const bool plan_unchanged = churn == 0;
+      if (!plan_unchanged) {
+        coarse::RepairCoarsePlan(entry->aggregator->pattern(), entry->views,
+                                 changed_rows, &companion->plan);
+      }
+      companion->views = old->coarse->views;
+      bool coarse_value_only = plan_unchanged;
+      for (size_t v = 0; v < entry->views.size(); ++v) {
+        // A repaired plan changes the coarse node set, so every view must
+        // re-contract; an unchanged plan re-contracts only touched views.
+        if (plan_unchanged && !affected[v]) continue;
+        auto view = ContractOneView(entry->views, companion->plan,
+                                    &source->mvag, source->knn, v);
+        if (!view.ok()) {
+          companion.reset();
+          break;
+        }
+        coarse_value_only =
+            coarse_value_only &&
+            view->row_ptr == old->coarse->views[v].row_ptr &&
+            view->col_idx == old->coarse->views[v].col_idx;
+        companion->views[v] = std::move(*view);
+      }
+      if (companion != nullptr) {
+        companion->aggregator.reset(
+            coarse_value_only
+                ? new core::LaplacianAggregator(&companion->views,
+                                                *old->coarse->aggregator)
+                : new core::LaplacianAggregator(&companion->views));
+      }
+    }
+    entry->coarse =
+        companion != nullptr
+            ? std::unique_ptr<const CoarseGraphEntry>(companion.release())
+            : BuildCoarseEntry(*entry, &source->mvag, source->knn,
+                               entry->coarsen_ratio);
   }
 
   // Publish iff the entry we built on is still current (compare-and-swap on

@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "coarse/coarsen.h"
 #include "core/aggregator.h"
 #include "core/mvag.h"
 #include "core/view_laplacian.h"
@@ -36,6 +37,13 @@ struct RegisterOptions {
   /// again; read-only deployments set false to decline, and UpdateGraph
   /// then fails with FailedPrecondition like a RegisterViews entry.
   bool updatable = true;
+  /// Coarse-companion reduction ratio for the tiered serving path (see
+  /// DESIGN.md "Tiered serving"): registration builds a multilevel
+  /// heavy-edge coarsening of the union pattern targeting ~ratio * n coarse
+  /// rows, and quality=fast/refined solves run on it. 0 disables the
+  /// companion (tiered requests then quietly serve exact). Tiny graphs, and
+  /// graphs whose matching cannot shrink them, skip the companion too.
+  double coarsen_ratio = 0.1;
 };
 
 /// Row-sharded serving state of a registered graph: the deterministic shard
@@ -47,6 +55,23 @@ struct RegisterOptions {
 struct ShardedGraphEntry {
   ShardPlan plan;
   core::ShardedAggregator aggregator;
+};
+
+/// Coarse serving companion of a registered graph: the prolongation plan
+/// (multilevel heavy-edge matching over the union pattern), the contracted
+/// per-view Laplacians on the coarse node set, and an aggregator over them.
+/// Immutable and shared exactly like the entry that owns it; quality=fast
+/// solves run the unmodified SGLA pipeline against `aggregator` in a
+/// coarse-sized workspace and prolongate the result, quality=refined seeds
+/// the exact solve from it. Coarse graphs are never sharded — they are small
+/// by construction.
+struct CoarseGraphEntry {
+  coarse::CoarsePlan plan;
+  std::vector<la::CsrMatrix> views;
+  /// Built after `views` is in place (keeps a pointer into this struct);
+  /// like GraphEntry, the companion only lives behind the entry shared_ptr
+  /// and never moves.
+  std::unique_ptr<core::LaplacianAggregator> aggregator;
 };
 
 /// Immutable per-graph serving state, built once at registration: the view
@@ -75,6 +100,12 @@ struct GraphEntry {
   /// Present iff the graph was registered with shards > 1 (and is large
   /// enough to split); solves then run shard-by-shard.
   std::unique_ptr<const ShardedGraphEntry> sharded;
+  /// The ratio the entry was registered with, carried across epochs so
+  /// UpdateGraph can rebuild the companion consistently. 0 when disabled.
+  double coarsen_ratio = 0.0;
+  /// Present iff the graph was registered with coarsen_ratio > 0 and the
+  /// matching achieved an actual reduction; fast/refined solves read it.
+  std::unique_ptr<const CoarseGraphEntry> coarse;
 };
 
 /// Registers/evicts MultiViewGraphs by id and hands out shared snapshots.
@@ -144,9 +175,11 @@ class GraphRegistry {
     std::mutex mutex;
   };
 
+  /// `mvag` (may be null for RegisterViews entries) lets the coarse builder
+  /// re-run attribute-view KNN on the averaged coarse attributes.
   Result<std::shared_ptr<const GraphEntry>> Publish(
       std::shared_ptr<GraphEntry> entry, const RegisterOptions& options,
-      std::shared_ptr<GraphSource> source);
+      std::shared_ptr<GraphSource> source, const core::MultiViewGraph* mvag);
 
   /// The queue shard jobs run on, created lazily at the first sharded
   /// registration and shared by every sharded entry (entries hold the

@@ -9,18 +9,30 @@ std::shared_ptr<const SolveCache::Entry> SolveCache::Lookup(
     const Key& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : it->second;
+  if (it == entries_.end()) return nullptr;
+  it->second.last_used = ++tick_;
+  return it->second.entry;
 }
 
 void SolveCache::Store(const Key& key, Entry entry) {
-  auto published = std::make_shared<const Entry>(std::move(entry));
   std::lock_guard<std::mutex> lock(mutex_);
-  entries_[key] = std::move(published);
+  entry.stamp = ++tick_;
+  Slot& slot = entries_[key];
+  slot.entry = std::make_shared<const Entry>(std::move(entry));
+  slot.last_used = tick_;
+  if (capacity_ == 0) return;
+  while (entries_.size() > capacity_) {
+    auto stalest = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_used < stalest->second.last_used) stalest = it;
+    }
+    entries_.erase(stalest);
+  }
 }
 
 void SolveCache::Invalidate(const std::string& graph_id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.lower_bound(Key{graph_id, 0, 0, 0});
+  auto it = entries_.lower_bound(Key{graph_id, 0, 0, 0, 0});
   while (it != entries_.end() && it->first.graph_id == graph_id) {
     it = entries_.erase(it);
   }

@@ -14,27 +14,37 @@ namespace sgla {
 namespace serve {
 
 /// Per-graph warm-start bank: the last completed solve's optimal weights and
-/// final Ritz vectors, keyed by (graph_id, mode, algorithm, k). Entries are
-/// immutable behind shared_ptr — Store publishes a new generation, Lookup
-/// hands out the current one (a warm solve in flight keeps its snapshot
-/// alive across concurrent stores, same idiom as the graph registry) — so an
-/// updated graph's re-solve can seed its eigensolves from the pre-update
-/// spectrum without copying the bank. Entries survive graph updates by
-/// design (that is the point: the updated spectrum is close to its
-/// predecessor's); eviction drops them.
+/// final Ritz vectors, keyed by (graph_id, mode, algorithm, k, quality).
+/// Entries are immutable behind shared_ptr — Store publishes a new
+/// generation, Lookup hands out the current one (a warm solve in flight
+/// keeps its snapshot alive across concurrent stores, same idiom as the
+/// graph registry) — so an updated graph's re-solve can seed its eigensolves
+/// from the pre-update spectrum without copying the bank. Entries survive
+/// graph updates by design (that is the point: the updated spectrum is close
+/// to its predecessor's); eviction drops them.
+///
+/// With a nonzero capacity the bank is an LRU: Lookup and Store refresh an
+/// entry's recency, and Store evicts the stalest entries until the bank fits.
+/// Recency ticks are a process-local monotonic counter, never wall-clock —
+/// eviction order is a pure function of the access sequence.
 class SolveCache {
  public:
-  /// The mode/algorithm ints mirror serve::SolveMode / serve::Algorithm;
-  /// the cache is enum-agnostic so it needs no engine headers.
+  /// The mode/algorithm/quality ints mirror serve::SolveMode /
+  /// serve::Algorithm / serve::Quality; the cache is enum-agnostic so it
+  /// needs no engine headers. Quality participates in the key because a fast
+  /// solve's bank is coarse-sized and must never seed (or be clobbered by)
+  /// the exact tier.
   struct Key {
     std::string graph_id;
     int mode = 0;
     int algorithm = 0;
     int k = 0;
+    int quality = 0;
 
     bool operator<(const Key& other) const {
-      return std::tie(graph_id, mode, algorithm, k) <
-             std::tie(other.graph_id, other.mode, other.algorithm, other.k);
+      return std::tie(graph_id, mode, algorithm, k, quality) <
+             std::tie(other.graph_id, other.mode, other.algorithm, other.k,
+                      other.quality);
     }
   };
 
@@ -47,30 +57,55 @@ class SolveCache {
     uint64_t lineage = 0;
     int64_t epoch = 0;      ///< graph epoch the solve ran against
     int64_t num_nodes = 0;  ///< seed validity guard (must match the graph)
+    /// Age stamp: the monotonic cache tick at which the entry was stored.
+    /// Strictly increasing across stores, so callers (and tests) can order
+    /// generations without wall-clock.
+    uint64_t stamp = 0;
     la::Vector weights;     ///< w* of the cached solve
     /// The n x (k+1) Ritz vectors of the solve's last objective evaluation
     /// — a probe point near w*, not necessarily w* itself (the final
     /// aggregation runs no eigensolve). Close enough to seed refinement
     /// passes; the warm solver only needs "near the updated spectrum".
     la::DenseMatrix ritz_vectors;
+    /// The un-normalized spectral-embedding eigenvectors of the clustering
+    /// stage (n x k), banked alongside the objective Ritz pairs so the
+    /// embedding eigensolve warm-starts too. Empty for embed-mode solves
+    /// (NetMF runs no Lanczos) and for pre-clustering failures.
+    la::DenseMatrix embedding_ritz;
   };
 
+  /// `capacity` = max entries kept; 0 (default) means unbounded, the
+  /// pre-LRU behavior.
+  explicit SolveCache(size_t capacity = 0) : capacity_(capacity) {}
+
   /// The current entry for `key`, or null. The returned snapshot stays valid
-  /// for as long as it is held, across any concurrent Store/Invalidate.
+  /// for as long as it is held, across any concurrent Store/Invalidate. A
+  /// hit refreshes the entry's LRU recency.
   std::shared_ptr<const Entry> Lookup(const Key& key) const;
 
-  /// Publishes `entry` as the new generation for `key`.
+  /// Publishes `entry` as the new generation for `key` (stamping it with the
+  /// next cache tick), then evicts least-recently-used entries while the
+  /// bank exceeds capacity. The just-stored entry is the most recent, so it
+  /// is never the one evicted.
   void Store(const Key& key, Entry entry);
 
-  /// Drops every entry of `graph_id` (all modes/algorithms/k) — eviction
-  /// invalidates the bank; re-registration starts cold.
+  /// Drops every entry of `graph_id` (all modes/algorithms/k/quality) —
+  /// eviction invalidates the bank; re-registration starts cold.
   void Invalidate(const std::string& graph_id);
 
   size_t size() const;
+  size_t capacity() const { return capacity_; }
 
  private:
+  struct Slot {
+    std::shared_ptr<const Entry> entry;
+    uint64_t last_used = 0;
+  };
+
+  const size_t capacity_;
   mutable std::mutex mutex_;
-  std::map<Key, std::shared_ptr<const Entry>> entries_;
+  mutable uint64_t tick_ = 0;  ///< monotonic recency counter, under mutex_
+  mutable std::map<Key, Slot> entries_;
 };
 
 }  // namespace serve

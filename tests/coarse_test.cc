@@ -1,0 +1,555 @@
+// Tiered-serving tests: coarse plan construction (valid canonical partition,
+// pure function of the sparsity patterns), bit-identity of the plan and of
+// fast-tier solves across SGLA_THREADS x shard counts, the fast tier's NMI
+// gap against exact on an SBM fixture, delta maintenance of the coarse
+// companion (value-only and above-churn pattern deltas must match a fresh
+// re-registration bit for bit; small pattern deltas repair in place), the
+// refined tier's strictly-fewer-Lanczos-iterations contract, and the
+// zero-allocation steady state of the coarse serving kernels.
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "coarse/coarsen.h"
+#include "core/objective.h"
+#include "core/view_laplacian.h"
+#include "data/generator.h"
+#include "eval/clustering_metrics.h"
+#include "graph/laplacian.h"
+#include "la/dense.h"
+#include "serve/engine.h"
+#include "serve/graph_delta.h"
+#include "serve/graph_registry.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+// ---------------------------------------------------------------------------
+// Allocation-counting hook (same scheme as engine_test.cc / update_test.cc).
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<int64_t> g_allocations{0};
+}  // namespace
+
+// GCC can't see that these replacements pair new<->malloc and delete<->free
+// consistently once library code is inlined against them; the runtime
+// pairing is correct by definition of global replacement.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#pragma GCC diagnostic pop
+
+namespace sgla {
+namespace {
+
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() {
+    util::ThreadPool::SetGlobalThreads(util::ThreadPool::DefaultThreads());
+  }
+};
+
+/// Two-SBM-view fixture (no attribute views, so delta tests compare the
+/// update path against re-registration without KNN in the picture).
+struct CoarseFixture {
+  core::MultiViewGraph mvag;
+
+  static CoarseFixture Make(int64_t n, int k, uint64_t seed) {
+    CoarseFixture f;
+    Rng rng(seed);
+    std::vector<int32_t> labels = data::BalancedLabels(n, k, &rng);
+    f.mvag = core::MultiViewGraph(n, k);
+    f.mvag.AddGraphView(data::SbmGraph(labels, k, 0.04, 0.004, &rng));
+    f.mvag.AddGraphView(data::SbmGraph(labels, k, 0.02, 0.008, &rng));
+    f.mvag.set_labels(std::move(labels));
+    return f;
+  }
+};
+
+serve::GraphDelta WeightDelta(const core::MultiViewGraph& mvag, size_t count,
+                              double weight) {
+  serve::GraphDelta delta;
+  serve::GraphViewDelta view_delta;
+  view_delta.view = 0;
+  const std::vector<graph::Edge>& edges = mvag.graph_views()[0].edges();
+  const size_t stride = std::max<size_t>(1, edges.size() / count);
+  for (size_t i = 0; i < edges.size() && view_delta.upserts.size() < count;
+       i += stride) {
+    view_delta.upserts.push_back({edges[i].u, edges[i].v, weight});
+  }
+  delta.graph_views.push_back(std::move(view_delta));
+  return delta;
+}
+
+serve::GraphDelta RemovalDelta(const core::MultiViewGraph& mvag,
+                               size_t count) {
+  serve::GraphDelta delta;
+  serve::GraphViewDelta view_delta;
+  view_delta.view = 0;
+  const std::vector<graph::Edge>& edges = mvag.graph_views()[0].edges();
+  for (size_t i = 0; i < edges.size() && i < count; ++i) {
+    view_delta.removals.push_back({edges[i].u, edges[i].v});
+  }
+  delta.graph_views.push_back(std::move(view_delta));
+  return delta;
+}
+
+core::SglaPlusOptions FastOptions() {
+  core::SglaPlusOptions options;
+  options.base.max_evaluations = 16;
+  return options;
+}
+
+serve::SolveResponse SolveTier(serve::Engine* engine, const std::string& id,
+                               serve::Quality quality) {
+  serve::SolveRequest request;
+  request.graph_id = id;
+  request.quality = quality;
+  request.options = FastOptions();
+  auto response = engine->Solve(request);
+  EXPECT_TRUE(response.ok()) << response.status().ToString();
+  return std::move(*response);
+}
+
+void ExpectValidCanonicalPlan(const coarse::CoarsePlan& plan) {
+  ASSERT_EQ(plan.fine_to_coarse.size(),
+            static_cast<size_t>(plan.fine_rows));
+  ASSERT_EQ(plan.cluster_size.size(), static_cast<size_t>(plan.coarse_rows));
+  std::vector<int64_t> counted(static_cast<size_t>(plan.coarse_rows), 0);
+  // Canonical numbering: coarse ids appear for the first time in ascending
+  // order as fine rows are scanned — id I's first member precedes id I+1's.
+  int64_t next_fresh = 0;
+  for (int64_t i = 0; i < plan.fine_rows; ++i) {
+    const int64_t c = plan.fine_to_coarse[static_cast<size_t>(i)];
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, plan.coarse_rows);
+    if (counted[static_cast<size_t>(c)] == 0) {
+      EXPECT_EQ(c, next_fresh) << "non-canonical id order at fine row " << i;
+      ++next_fresh;
+    }
+    ++counted[static_cast<size_t>(c)];
+  }
+  EXPECT_EQ(next_fresh, plan.coarse_rows);
+  for (int64_t c = 0; c < plan.coarse_rows; ++c) {
+    EXPECT_EQ(counted[static_cast<size_t>(c)],
+              plan.cluster_size[static_cast<size_t>(c)]);
+    EXPECT_GE(plan.cluster_size[static_cast<size_t>(c)], 1);
+  }
+}
+
+void ExpectSamePlan(const coarse::CoarsePlan& a, const coarse::CoarsePlan& b) {
+  EXPECT_EQ(a.fine_rows, b.fine_rows);
+  EXPECT_EQ(a.coarse_rows, b.coarse_rows);
+  EXPECT_EQ(a.fine_to_coarse, b.fine_to_coarse);
+  EXPECT_EQ(a.cluster_size, b.cluster_size);
+}
+
+void ExpectSameViews(const std::vector<la::CsrMatrix>& a,
+                     const std::vector<la::CsrMatrix>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t v = 0; v < a.size(); ++v) {
+    EXPECT_EQ(a[v].row_ptr, b[v].row_ptr) << "view " << v;
+    EXPECT_EQ(a[v].col_idx, b[v].col_idx) << "view " << v;
+    EXPECT_EQ(a[v].values, b[v].values) << "view " << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plan construction
+// ---------------------------------------------------------------------------
+
+TEST(CoarsePlanTest, BuildsValidCanonicalPartitionAtTargetSize) {
+  const CoarseFixture f = CoarseFixture::Make(600, 3, 31);
+  auto views = core::ComputeViewLaplacians(f.mvag);
+  ASSERT_TRUE(views.ok());
+  core::LaplacianAggregator aggregator(&*views);
+
+  coarse::CoarsePlan plan =
+      coarse::BuildCoarsePlan(aggregator.pattern(), *views);
+  EXPECT_EQ(plan.fine_rows, 600);
+  ExpectValidCanonicalPlan(plan);
+  // ratio 0.1 on a connected SBM: real multilevel reduction, floored well
+  // above degeneracy.
+  EXPECT_GE(plan.coarse_rows, 32);
+  EXPECT_LE(plan.coarse_rows, 150);
+}
+
+TEST(CoarsePlanTest, PlanIsAPureFunctionOfThePatterns) {
+  // Scaling every stored value leaves the plan untouched: matching weights
+  // are integer pattern multiplicities, never floats — the invariant the
+  // registry's value-only delta fast path relies on.
+  const CoarseFixture f = CoarseFixture::Make(400, 2, 41);
+  auto views = core::ComputeViewLaplacians(f.mvag);
+  ASSERT_TRUE(views.ok());
+  core::LaplacianAggregator aggregator(&*views);
+  const coarse::CoarsePlan plan =
+      coarse::BuildCoarsePlan(aggregator.pattern(), *views);
+
+  std::vector<la::CsrMatrix> scaled = *views;
+  for (la::CsrMatrix& view : scaled) {
+    for (double& value : view.values) value *= 3.25;
+  }
+  core::LaplacianAggregator scaled_aggregator(&scaled);
+  const coarse::CoarsePlan replay =
+      coarse::BuildCoarsePlan(scaled_aggregator.pattern(), scaled);
+  ExpectSamePlan(plan, replay);
+}
+
+TEST(CoarsePlanTest, PlanAndFastSolveBitIdenticalAcrossThreadsAndShards) {
+  // n large enough that a 4-shard registration is real (>= 4 fixed 512-row
+  // chunks). The reference is threads=1/shards=1; every other combination
+  // must reproduce the plan, the contracted views, and the fast-tier solve
+  // bit for bit.
+  const CoarseFixture f = CoarseFixture::Make(2570, 3, 51);
+
+  coarse::CoarsePlan reference_plan;
+  std::vector<la::CsrMatrix> reference_views;
+  la::Vector reference_weights;
+  std::vector<int32_t> reference_labels;
+
+  ThreadCountGuard guard;
+  bool first = true;
+  for (int threads : {1, 4}) {
+    for (int shards : {1, 4}) {
+      util::ThreadPool::SetGlobalThreads(threads);
+      serve::GraphRegistry registry;
+      serve::RegisterOptions options;
+      options.shards = shards;
+      auto entry = registry.Register("g", f.mvag, options);
+      ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+      ASSERT_NE((*entry)->coarse, nullptr);
+      const serve::CoarseGraphEntry& coarse = *(*entry)->coarse;
+
+      serve::Engine engine(&registry);
+      const serve::SolveResponse fast =
+          SolveTier(&engine, "g", serve::Quality::kFast);
+      EXPECT_EQ(fast.stats.tier_served, serve::Quality::kFast);
+      ASSERT_EQ(fast.labels.size(), static_cast<size_t>(2570));
+
+      if (first) {
+        first = false;
+        ExpectValidCanonicalPlan(coarse.plan);
+        reference_plan = coarse.plan;
+        reference_views = coarse.views;
+        reference_weights = fast.integration.weights;
+        reference_labels = fast.labels;
+        continue;
+      }
+      ExpectSamePlan(reference_plan, coarse.plan);
+      ExpectSameViews(reference_views, coarse.views);
+      EXPECT_EQ(reference_weights, fast.integration.weights)
+          << "threads=" << threads << " shards=" << shards;
+      EXPECT_EQ(reference_labels, fast.labels)
+          << "threads=" << threads << " shards=" << shards;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prolongation / contraction kernels
+// ---------------------------------------------------------------------------
+
+TEST(CoarseKernelTest, ProlongateRowsGathersRows) {
+  la::DenseMatrix src(3, 2);
+  for (int64_t r = 0; r < 3; ++r) {
+    src(r, 0) = 10.0 * static_cast<double>(r);
+    src(r, 1) = 10.0 * static_cast<double>(r) + 1.0;
+  }
+  const std::vector<int64_t> map = {2, 0, 1, 0, 2};
+  la::DenseMatrix out;
+  la::ProlongateRows(src, map, &out);
+  ASSERT_EQ(out.rows(), 5);
+  ASSERT_EQ(out.cols(), 2);
+  for (size_t i = 0; i < map.size(); ++i) {
+    EXPECT_EQ(out(static_cast<int64_t>(i), 0), src(map[i], 0));
+    EXPECT_EQ(out(static_cast<int64_t>(i), 1), src(map[i], 1));
+  }
+}
+
+TEST(CoarseKernelTest, AverageRowsMeansClusterMembers) {
+  coarse::CoarsePlan plan;
+  plan.fine_rows = 4;
+  plan.coarse_rows = 2;
+  plan.fine_to_coarse = {0, 1, 0, 1};
+  plan.cluster_size = {2, 2};
+
+  la::DenseMatrix fine(4, 2);
+  fine(0, 0) = 1.0;
+  fine(0, 1) = 2.0;
+  fine(1, 0) = 10.0;
+  fine(1, 1) = 20.0;
+  fine(2, 0) = 3.0;
+  fine(2, 1) = 4.0;
+  fine(3, 0) = 30.0;
+  fine(3, 1) = 40.0;
+
+  const la::DenseMatrix avg = coarse::AverageRows(fine, plan);
+  ASSERT_EQ(avg.rows(), 2);
+  ASSERT_EQ(avg.cols(), 2);
+  EXPECT_DOUBLE_EQ(avg(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(avg(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(avg(1, 0), 20.0);
+  EXPECT_DOUBLE_EQ(avg(1, 1), 30.0);
+}
+
+TEST(CoarseKernelTest, ProlongateLabelsCopiesThroughTheMap) {
+  coarse::CoarsePlan plan;
+  plan.fine_rows = 5;
+  plan.coarse_rows = 2;
+  plan.fine_to_coarse = {0, 1, 1, 0, 1};
+  plan.cluster_size = {2, 3};
+  const std::vector<int32_t> coarse_labels = {7, 9};
+  std::vector<int32_t> fine;
+  coarse::ProlongateLabels(plan, coarse_labels, &fine);
+  EXPECT_EQ(fine, (std::vector<int32_t>{7, 9, 9, 7, 9}));
+}
+
+// ---------------------------------------------------------------------------
+// Fast tier end to end
+// ---------------------------------------------------------------------------
+
+TEST(FastTierTest, NmiGapAgainstExactWithinBound) {
+  // CI-gate scale (SGLA_BENCH_SCALE=0.1): the coarse companion must clear
+  // the dense-eigensolver fallback threshold, i.e. behave like production.
+  const int64_t n = 2000;
+  const int k = 3;
+  Rng rng(61);
+  std::vector<int32_t> truth = data::BalancedLabels(n, k, &rng);
+  core::MultiViewGraph mvag(n, k);
+  mvag.AddGraphView(data::SbmGraph(truth, k, 0.10, 0.01, &rng));
+  mvag.AddAttributeView(data::GaussianAttributes(truth, k, 8, 3.0, 0.9, &rng));
+
+  serve::GraphRegistry registry;
+  ASSERT_TRUE(registry.Register("g", mvag).ok());
+  serve::Engine engine(&registry);
+
+  const serve::SolveResponse exact =
+      SolveTier(&engine, "g", serve::Quality::kExact);
+  const serve::SolveResponse fast =
+      SolveTier(&engine, "g", serve::Quality::kFast);
+  EXPECT_EQ(exact.stats.tier_served, serve::Quality::kExact);
+  EXPECT_EQ(fast.stats.tier_served, serve::Quality::kFast);
+  ASSERT_EQ(fast.labels.size(), static_cast<size_t>(n));
+  // The fast response's integration ran on the coarse graph.
+  EXPECT_LT(fast.integration.laplacian.rows, n / 2);
+
+  const double exact_nmi = eval::EvaluateClustering(exact.labels, truth).nmi;
+  const double fast_nmi = eval::EvaluateClustering(fast.labels, truth).nmi;
+  EXPECT_LE(exact_nmi - fast_nmi, 0.05)
+      << "exact nmi " << exact_nmi << " fast nmi " << fast_nmi;
+}
+
+TEST(FastTierTest, FallsBackToExactWithoutCompanion) {
+  const CoarseFixture f = CoarseFixture::Make(400, 2, 71);
+  serve::GraphRegistry registry;
+  serve::RegisterOptions options;
+  options.coarsen_ratio = 0.0;  // decline the companion
+  auto entry = registry.Register("g", f.mvag, options);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->coarse, nullptr);
+
+  serve::Engine engine(&registry);
+  const serve::SolveResponse fast =
+      SolveTier(&engine, "g", serve::Quality::kFast);
+  EXPECT_EQ(fast.stats.tier_served, serve::Quality::kExact);
+  EXPECT_EQ(fast.integration.laplacian.rows, 400);
+}
+
+// ---------------------------------------------------------------------------
+// Delta maintenance of the companion
+// ---------------------------------------------------------------------------
+
+TEST(CoarseUpdateTest, ValueOnlyDeltaMatchesReregistration) {
+  const CoarseFixture f = CoarseFixture::Make(600, 3, 81);
+  serve::GraphRegistry registry;
+  ASSERT_TRUE(registry.Register("g", f.mvag).ok());
+
+  const serve::GraphDelta delta = WeightDelta(f.mvag, 40, 2.5);
+  auto updated = registry.UpdateGraph("g", delta);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  ASSERT_NE((*updated)->coarse, nullptr);
+
+  core::MultiViewGraph post = f.mvag;
+  std::vector<bool> affected;
+  ASSERT_TRUE(serve::ApplyDelta(&post, delta, &affected).ok());
+  auto fresh = registry.Register("h", post);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_NE((*fresh)->coarse, nullptr);
+
+  ExpectSamePlan((*fresh)->coarse->plan, (*updated)->coarse->plan);
+  ExpectSameViews((*fresh)->coarse->views, (*updated)->coarse->views);
+
+  serve::Engine engine(&registry);
+  const serve::SolveResponse via_update =
+      SolveTier(&engine, "g", serve::Quality::kFast);
+  const serve::SolveResponse via_fresh =
+      SolveTier(&engine, "h", serve::Quality::kFast);
+  EXPECT_EQ(via_update.stats.tier_served, serve::Quality::kFast);
+  EXPECT_EQ(via_update.integration.weights, via_fresh.integration.weights);
+  EXPECT_EQ(via_update.labels, via_fresh.labels);
+}
+
+TEST(CoarseUpdateTest, LargePatternDeltaMatchesReregistration) {
+  // 120 removed edges touch far more rows than the 5% churn threshold, so
+  // the registry re-coarsens from scratch — which must be indistinguishable
+  // from registering the post-delta graph fresh.
+  const CoarseFixture f = CoarseFixture::Make(600, 3, 91);
+  serve::GraphRegistry registry;
+  ASSERT_TRUE(registry.Register("g", f.mvag).ok());
+
+  const serve::GraphDelta delta = RemovalDelta(f.mvag, 120);
+  auto updated = registry.UpdateGraph("g", delta);
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  ASSERT_NE((*updated)->coarse, nullptr);
+
+  core::MultiViewGraph post = f.mvag;
+  std::vector<bool> affected;
+  ASSERT_TRUE(serve::ApplyDelta(&post, delta, &affected).ok());
+  auto fresh = registry.Register("h", post);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_NE((*fresh)->coarse, nullptr);
+
+  ExpectSamePlan((*fresh)->coarse->plan, (*updated)->coarse->plan);
+  ExpectSameViews((*fresh)->coarse->views, (*updated)->coarse->views);
+
+  serve::Engine engine(&registry);
+  const serve::SolveResponse via_update =
+      SolveTier(&engine, "g", serve::Quality::kFast);
+  const serve::SolveResponse via_fresh =
+      SolveTier(&engine, "h", serve::Quality::kFast);
+  EXPECT_EQ(via_update.integration.weights, via_fresh.integration.weights);
+  EXPECT_EQ(via_update.labels, via_fresh.labels);
+}
+
+TEST(CoarseUpdateTest, SmallPatternDeltaRepairsCompanionInPlace) {
+  const CoarseFixture f = CoarseFixture::Make(600, 3, 101);
+  serve::GraphRegistry registry;
+  auto registered = registry.Register("g", f.mvag);
+  ASSERT_TRUE(registered.ok());
+  const coarse::CoarsePlan before = (*registered)->coarse->plan;
+
+  auto updated = registry.UpdateGraph("g", RemovalDelta(f.mvag, 2));
+  ASSERT_TRUE(updated.ok()) << updated.status().ToString();
+  ASSERT_NE((*updated)->coarse, nullptr);
+  EXPECT_EQ((*updated)->epoch, 1);
+
+  // The repaired plan is still a valid canonical partition of all 600 rows
+  // (it need not equal a from-scratch coarsening — see DESIGN.md).
+  ExpectValidCanonicalPlan((*updated)->coarse->plan);
+  EXPECT_EQ((*updated)->coarse->plan.fine_rows, before.fine_rows);
+
+  serve::Engine engine(&registry);
+  const serve::SolveResponse fast =
+      SolveTier(&engine, "g", serve::Quality::kFast);
+  EXPECT_EQ(fast.stats.tier_served, serve::Quality::kFast);
+  EXPECT_EQ(fast.labels.size(), static_cast<size_t>(600));
+}
+
+// ---------------------------------------------------------------------------
+// Refined tier
+// ---------------------------------------------------------------------------
+
+TEST(RefinedTierTest, UsesStrictlyFewerLanczosIterationsThanColdExact) {
+  // The refined contract holds on crisply-clustered inputs — prolongated
+  // coarse Ritz vectors only approximate fine eigenvectors when they are
+  // near piecewise-constant — so the fixture mirrors the CI nmi-gap gate's.
+  // n is big enough that the coarse companion (n/10 rows) clears the dense
+  // fallback threshold: the pre-solve must itself run Lanczos, both so
+  // coarse_lanczos_iterations is observable and so the banked Ritz seeds
+  // come from the same solver family they are warming.
+  const int64_t n = 1200;
+  const int k = 3;
+  Rng rng(111);
+  std::vector<int32_t> truth = data::BalancedLabels(n, k, &rng);
+  core::MultiViewGraph mvag(n, k);
+  mvag.AddGraphView(data::SbmGraph(truth, k, 0.10, 0.01, &rng));
+  mvag.AddAttributeView(data::GaussianAttributes(truth, k, 8, 3.0, 0.9, &rng));
+  serve::GraphRegistry registry;
+  ASSERT_TRUE(registry.Register("g", mvag).ok());
+  serve::Engine engine(&registry);
+
+  const serve::SolveResponse exact =
+      SolveTier(&engine, "g", serve::Quality::kExact);
+  const serve::SolveResponse refined =
+      SolveTier(&engine, "g", serve::Quality::kRefined);
+
+  EXPECT_EQ(refined.stats.tier_served, serve::Quality::kRefined);
+  ASSERT_EQ(refined.labels.size(), static_cast<size_t>(1200));
+  EXPECT_EQ(refined.integration.laplacian.rows, 1200);  // exact-sized output
+  EXPECT_GT(refined.stats.coarse_lanczos_iterations, 0);
+  EXPECT_GT(exact.stats.lanczos_iterations, 0);
+  // The seeded exact solve must beat the cold one outright.
+  EXPECT_LT(refined.stats.lanczos_iterations, exact.stats.lanczos_iterations);
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state allocation behavior of the coarse serving kernels
+// ---------------------------------------------------------------------------
+
+TEST(CoarseAllocationTest, SteadyStateCoarseKernelsAllocateNothing) {
+  const CoarseFixture f = CoarseFixture::Make(600, 3, 121);
+  serve::GraphRegistry registry;
+  auto entry = registry.Register("g", f.mvag);
+  ASSERT_TRUE(entry.ok());
+  ASSERT_NE((*entry)->coarse, nullptr);
+  const serve::CoarseGraphEntry& coarse = *(*entry)->coarse;
+
+  ThreadCountGuard guard;
+  for (int threads : {1, 4}) {
+    util::ThreadPool::SetGlobalThreads(threads);
+
+    // Fast-tier objective evaluations on the coarse aggregator.
+    core::EvalWorkspace workspace;
+    core::SpectralObjective objective(coarse.aggregator.get(), 3,
+                                      core::ObjectiveOptions(), &workspace);
+    const std::vector<double> w1 = {0.55, 0.45};
+    const std::vector<double> w2 = {0.30, 0.70};
+    ASSERT_TRUE(objective.Evaluate(w1).ok());  // warm-up sizes the buffers
+    ASSERT_TRUE(objective.Evaluate(w2).ok());
+
+    // Prolongation kernels with pre-warmed outputs.
+    std::vector<int32_t> coarse_labels(
+        static_cast<size_t>(coarse.plan.coarse_rows), 1);
+    std::vector<int32_t> fine_labels;
+    coarse::ProlongateLabels(coarse.plan, coarse_labels, &fine_labels);
+    la::DenseMatrix ritz(coarse.plan.coarse_rows, 4);
+    la::DenseMatrix lifted;
+    la::ProlongateRows(ritz, coarse.plan.fine_to_coarse, &lifted);
+
+    const int64_t before = g_allocations.load(std::memory_order_relaxed);
+    for (int i = 0; i < 10; ++i) {
+      auto value = objective.Evaluate(i % 2 == 0 ? w1 : w2);
+      ASSERT_TRUE(value.ok());
+      coarse::ProlongateLabels(coarse.plan, coarse_labels, &fine_labels);
+      la::ProlongateRows(ritz, coarse.plan.fine_to_coarse, &lifted);
+    }
+    const int64_t after = g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0)
+        << "steady-state coarse kernels allocated at threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace sgla

@@ -228,6 +228,7 @@ TEST(MessagesTest, SolveMessagesRoundTripAndValidateEnums) {
   msg.k = 5;
   msg.warm_start = true;
   msg.coalesce = false;
+  msg.quality = serve::Quality::kFast;
 
   WireWriter w;
   EncodeSolveRequest(msg, &w);
@@ -242,10 +243,18 @@ TEST(MessagesTest, SolveMessagesRoundTripAndValidateEnums) {
     EXPECT_EQ(decoded.k, msg.k);
     EXPECT_EQ(decoded.warm_start, msg.warm_start);
     EXPECT_EQ(decoded.coalesce, msg.coalesce);
+    EXPECT_EQ(decoded.quality, msg.quality);
   }
   {  // out-of-range mode byte is rejected, not cast
     std::vector<uint8_t> corrupt = buffer;
     corrupt[4 + 1] = 200;  // mode byte follows the u32 length + "g"
+    WireReader r(corrupt.data(), corrupt.size());
+    SolveWireRequest decoded;
+    EXPECT_FALSE(DecodeSolveRequest(&r, &decoded));
+  }
+  {  // out-of-range quality byte (the trailing byte) is rejected too
+    std::vector<uint8_t> corrupt = buffer;
+    corrupt.back() = 200;
     WireReader r(corrupt.data(), corrupt.size());
     SolveWireRequest decoded;
     EXPECT_FALSE(DecodeSolveRequest(&r, &decoded));
@@ -257,6 +266,7 @@ TEST(MessagesTest, SolveMessagesRoundTripAndValidateEnums) {
   reply.graph_epoch = 3;
   reply.warm_started = true;
   reply.lanczos_iterations = 42;
+  reply.tier_served = static_cast<uint8_t>(serve::Quality::kRefined);
   reply.labels = {0, 1, 1, 0};
   WireWriter wr;
   EncodeSolveReply(reply, &wr);
@@ -268,7 +278,19 @@ TEST(MessagesTest, SolveMessagesRoundTripAndValidateEnums) {
   EXPECT_EQ(decoded.graph_epoch, reply.graph_epoch);
   EXPECT_EQ(decoded.warm_started, reply.warm_started);
   EXPECT_EQ(decoded.lanczos_iterations, reply.lanczos_iterations);
+  EXPECT_EQ(decoded.tier_served, reply.tier_served);
   EXPECT_EQ(decoded.labels, reply.labels);
+
+  {  // an out-of-range tier_served byte from a hostile server is rejected
+    SolveReply hostile = reply;
+    hostile.tier_served = 200;
+    WireWriter hw;
+    EncodeSolveReply(hostile, &hw);
+    std::vector<uint8_t> hostile_buffer = hw.TakeBuffer();
+    WireReader hr(hostile_buffer.data(), hostile_buffer.size());
+    SolveReply rejected;
+    EXPECT_FALSE(DecodeSolveReply(&hr, &rejected));
+  }
 }
 
 TEST(MessagesTest, HostileCountsInRegisterAndUpdateAreRejectedNotAllocated) {
@@ -455,6 +477,42 @@ TEST_F(RpcServingTest, UpdateAndEvictWorkOverTheWire) {
   ASSERT_FALSE(reply.ok());
   EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
   EXPECT_TRUE(client.Ping().ok());  // connection survived the typed error
+}
+
+TEST_F(RpcServingTest, FastTierSolvesOverTheWireEchoTierServed) {
+  StartServing({});
+  // n=200 clears the registry's coarse-companion floor; the tiny default
+  // fixture (n=60) below it serves as the fallback case.
+  ASSERT_TRUE(RegisterFixture("g", 200).ok());
+  ASSERT_TRUE(RegisterFixture("tiny").ok());
+
+  // Direct-engine fast reference: the wire must reassemble it exactly.
+  serve::SolveRequest direct;
+  direct.graph_id = "g";
+  direct.quality = serve::Quality::kFast;
+  auto reference = engine_->Solve(direct);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_EQ(reference->stats.tier_served, serve::Quality::kFast);
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  SolveWireRequest request;
+  request.graph_id = "g";
+  request.quality = serve::Quality::kFast;
+  auto reply = client.Solve(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->tier_served,
+            static_cast<uint8_t>(serve::Quality::kFast));
+  EXPECT_EQ(reply->weights, reference->integration.weights);
+  EXPECT_EQ(reply->labels, reference->labels);
+  EXPECT_EQ(reply->labels.size(), 200u);
+
+  // No companion -> the reply says what actually ran: exact.
+  request.graph_id = "tiny";
+  auto fallback = client.Solve(request);
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_EQ(fallback->tier_served,
+            static_cast<uint8_t>(serve::Quality::kExact));
 }
 
 TEST_F(RpcServingTest, IdenticalInflightSolvesCoalesceIntoOnePhysicalSolve) {

@@ -11,8 +11,14 @@
 // dumps that share it. `--print-best-isa` lets the script discover the best
 // ISA the host can actually run.
 //
-// Usage: sgla_bitdump [--isa <name>] [--print-best-isa] [shards]
+// Usage: sgla_bitdump [--isa <name>] [--quality exact|fast]
+//                     [--print-best-isa] [shards]
 //        (thread count comes from SGLA_THREADS)
+//
+// --quality fast covers the coarse serving tier: the dump adds the coarse
+// plan fingerprint (matching + contracted views) and the engine solves run
+// at Quality::kFast, so the determinism matrix also proves coarsening and
+// the coarse-solve path are bit-stable across threads/shards/ISAs.
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
@@ -60,7 +66,7 @@ uint64_t DoubleBits(double x) {
   return bits;
 }
 
-int Run(int shards) {
+int Run(int shards, serve::Quality quality) {
   // Fixed fixture: big enough that a 4-shard plan is real (>= 4 fixed
   // 512-row chunks) and ragged (n % 512 != 0) so boundary arithmetic is
   // exercised, small enough to finish in CI seconds.
@@ -91,6 +97,23 @@ int Run(int shards) {
   for (size_t v = 0; v < (*entry)->views.size(); ++v) {
     std::printf("view[%zu] hash=%016" PRIx64 "\n", v,
                 HashCsr((*entry)->views[v]));
+  }
+
+  // In fast mode the coarse companion is part of the contract: its matching
+  // and every contracted view must be bit-identical across the matrix too.
+  if (quality != serve::Quality::kExact) {
+    const serve::CoarseGraphEntry* coarse = (*entry)->coarse.get();
+    if (coarse == nullptr) {
+      std::fprintf(stderr, "fast dump requested but no coarse companion\n");
+      return 1;
+    }
+    std::printf("coarse rows=%" PRId64 " map=%016" PRIx64 "\n",
+                coarse->plan.coarse_rows,
+                HashVector(coarse->plan.fine_to_coarse));
+    for (size_t v = 0; v < coarse->views.size(); ++v) {
+      std::printf("coarse view[%zu] hash=%016" PRIx64 "\n", v,
+                  HashCsr(coarse->views[v]));
+    }
   }
 
   // Objective evaluations at fixed weights, through the registered entry's
@@ -127,11 +150,16 @@ int Run(int shards) {
     serve::SolveRequest request;
     request.graph_id = "bitdump";
     request.algorithm = algorithm;
+    request.quality = quality;
     request.options.base.max_evaluations = 24;
     auto response = engine.Solve(request);
     if (!response.ok()) {
       std::fprintf(stderr, "solve failed: %s\n",
                    response.status().ToString().c_str());
+      return 1;
+    }
+    if (response->stats.tier_served != quality) {
+      std::fprintf(stderr, "tier fell back to exact\n");
       return 1;
     }
     const char* name =
@@ -155,6 +183,7 @@ int Run(int shards) {
 
 int main(int argc, char** argv) {
   int shards = 1;
+  sgla::serve::Quality quality = sgla::serve::Quality::kExact;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--print-best-isa") == 0) {
       std::printf("%s\n",
@@ -168,13 +197,25 @@ int main(int argc, char** argv) {
       setenv("SGLA_ISA", argv[++i], /*overwrite=*/1);
       continue;
     }
+    if (std::strcmp(argv[i], "--quality") == 0 && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "exact") {
+        quality = sgla::serve::Quality::kExact;
+      } else if (name == "fast") {
+        quality = sgla::serve::Quality::kFast;
+      } else {
+        std::fprintf(stderr, "unknown --quality %s\n", name.c_str());
+        return 2;
+      }
+      continue;
+    }
     shards = std::atoi(argv[i]);
   }
   if (shards < 1) {
     std::fprintf(stderr,
-                 "usage: sgla_bitdump [--isa <name>] [--print-best-isa] "
-                 "[shards>=1]\n");
+                 "usage: sgla_bitdump [--isa <name>] [--quality exact|fast] "
+                 "[--print-best-isa] [shards>=1]\n");
     return 2;
   }
-  return sgla::Run(shards);
+  return sgla::Run(shards, quality);
 }
