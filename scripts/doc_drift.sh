@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Doc-drift gate (registered as the `doc_drift` ctest): every SGLA_* env var
+# the tree actually reads, and every scripts/check.sh flag, must be mentioned
+# in README.md. Pure grep — a knob that lands without its line of docs fails
+# the suite immediately, instead of rotting until someone notices.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ ! -f README.md ]]; then
+  echo "doc_drift: README.md does not exist" >&2
+  exit 1
+fi
+
+missing=()
+
+# Env vars: every getenv("SGLA_*") in C++ sources, plus the shell-only knobs
+# scripts read via ${SGLA_*}.
+env_vars="$(
+  {
+    grep -rhoE 'getenv\("SGLA_[A-Z_]+"\)' src tools bench tests 2>/dev/null |
+      grep -oE 'SGLA_[A-Z_]+'
+    grep -rhoE '\$\{SGLA_[A-Z_]+' scripts/*.sh 2>/dev/null |
+      grep -oE 'SGLA_[A-Z_]+'
+  } | sort -u
+)"
+for var in ${env_vars}; do
+  grep -q "${var}" README.md || missing+=("env var ${var}")
+done
+
+# check.sh flags: everything its argv loop matches.
+flags="$(sed -n '/^while \[\[ \$# -gt 0 \]\]/,/^done/p' scripts/check.sh |
+  grep -oE -- '--[a-z-]+' | sort -u)"
+for flag in ${flags}; do
+  grep -qe "${flag}" README.md || missing+=("check.sh flag ${flag}")
+done
+
+if [[ ${#missing[@]} -gt 0 ]]; then
+  echo "doc_drift: README.md is missing documentation for:" >&2
+  printf '  %s\n' "${missing[@]}" >&2
+  exit 1
+fi
+
+echo "doc_drift: README.md covers every SGLA_* env var and check.sh flag"

@@ -40,13 +40,22 @@ class MultiViewGraph {
   }
 
   /// Mutable view access for incremental updates (serve::ApplyDelta edits
-  /// edge lists and attribute rows in place; view counts and the node set
-  /// never change after construction).
+  /// edge lists and attribute rows in place; the node set never changes
+  /// after construction, view counts only through the removers below).
   graph::Graph* mutable_graph_view(int view) {
     return &graph_views_[static_cast<size_t>(view)];
   }
   la::DenseMatrix* mutable_attribute_view(int view) {
     return &attribute_views_[static_cast<size_t>(view)];
+  }
+
+  /// View-lifecycle removers (serve::ApplyDelta's RemoveView op). Later
+  /// views of the same kind shift down by one; the caller re-maps indices.
+  void RemoveGraphView(int view) {
+    graph_views_.erase(graph_views_.begin() + view);
+  }
+  void RemoveAttributeView(int view) {
+    attribute_views_.erase(attribute_views_.begin() + view);
   }
 
  private:

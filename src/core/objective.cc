@@ -141,6 +141,40 @@ Result<ObjectiveValue> SpectralObjective::Evaluate(
                                      static_cast<int64_t>(weights.size()));
   if (options_.use_eigengap) value.h += value.eigengap;
   if (options_.use_connectivity) value.h -= value.lambda2;
+
+  if (options_.robust && num_views() > 1) {
+    // Cross-view agreement: each view's Rayleigh quotient against the
+    // consensus Ritz vectors U (all k+1 of them), r_i = tr(U^T L_i U)/(k+1).
+    // SpmvDense is row-parallel with a fixed grain and Dot is a single
+    // contiguous pass, so the penalty is bit-deterministic across thread
+    // counts — the serving determinism contract survives robust mode.
+    const std::vector<la::CsrMatrix>& views =
+        sharded_ != nullptr ? sharded_->views() : aggregator_->views();
+    const la::DenseMatrix& u = workspace_->eigen.vectors;
+    const int64_t cols = u.cols();
+    workspace_->robust_r.resize(views.size());
+    for (size_t i = 0; i < views.size(); ++i) {
+      la::SpmvDense(views[i], u, &workspace_->robust_spmv);
+      workspace_->robust_r[i] =
+          la::Dot(u.data().data(), workspace_->robust_spmv.data().data(),
+                  u.rows() * cols) /
+          static_cast<double>(cols);
+    }
+    workspace_->robust_sorted = workspace_->robust_r;
+    std::sort(workspace_->robust_sorted.begin(),
+              workspace_->robust_sorted.end());
+    const size_t mid = workspace_->robust_sorted.size() / 2;
+    const double median =
+        workspace_->robust_sorted.size() % 2 == 1
+            ? workspace_->robust_sorted[mid]
+            : 0.5 * (workspace_->robust_sorted[mid - 1] +
+                     workspace_->robust_sorted[mid]);
+    for (size_t i = 0; i < workspace_->robust_r.size(); ++i) {
+      value.agreement +=
+          weights[i] * std::fabs(workspace_->robust_r[i] - median);
+    }
+    value.h += options_.robust_rho * value.agreement;
+  }
   value.lanczos_iterations = stats.iterations;
   return value;
 }

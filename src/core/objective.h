@@ -23,6 +23,16 @@ struct ObjectiveOptions {
   bool use_connectivity = true;
   /// Eigensolver controls; subspace 0 = auto.
   int lanczos_subspace = 0;
+  /// Robust mode (serving's corrupted-view defense): adds
+  /// robust_rho * sum_i w_i * |r_i - median(r)| to h, where r_i is view i's
+  /// Rayleigh quotient trace(U^T L_i U) / (k+1) against the consensus Ritz
+  /// vectors U of the CURRENT aggregate. Views whose spectra disagree with
+  /// the median view get penalized in proportion to the weight placed on
+  /// them, so the search pushes weight off outlier (noise/corrupted) views —
+  /// countering the connectivity term's attraction to expander-like random
+  /// graphs. Off by default: bit-identical to the plain objective.
+  bool robust = false;
+  double robust_rho = 1.0;
   /// Non-owning warm-start seed for every eigensolve this objective runs:
   /// columns are a previous solve's Ritz vectors on a nearby graph (the
   /// serving layer passes the SolveCache entry of the pre-update epoch).
@@ -38,6 +48,9 @@ struct ObjectiveValue {
   double h = 0.0;         ///< full objective (lower is better)
   double eigengap = 0.0;  ///< g_k(L_w) = lambda_k / lambda_{k+1}, in [0, 1]
   double lambda2 = 0.0;   ///< algebraic connectivity of L_w
+  /// Cross-view agreement penalty (0 unless ObjectiveOptions::robust):
+  /// sum_i w_i * |r_i - median(r)|, before the robust_rho scaling.
+  double agreement = 0.0;
   /// Lanczos basis vectors the evaluation's eigensolve built (0 on the
   /// dense fallback) — the cost metric warm-started solves drive down.
   int lanczos_iterations = 0;
@@ -57,6 +70,11 @@ struct EvalWorkspace {
   uint64_t bound_pattern = 0;    ///< pattern_id the buffers were bound to
   la::LanczosWorkspace lanczos;
   la::Eigenpairs eigen;
+  /// Robust-mode scratch (sized on first robust Evaluate, idle otherwise):
+  /// the per-view L_i * U panel and the Rayleigh-quotient vectors.
+  la::DenseMatrix robust_spmv;
+  std::vector<double> robust_r;
+  std::vector<double> robust_sorted;
 };
 
 /// Workspace of a sharded objective-evaluation session: the per-shard

@@ -97,6 +97,44 @@ void EncodeDelta(const serve::GraphDelta& delta, WireWriter* w) {
     w->I64(a.row);
     w->F64Vec(a.values);
   }
+  // View-lifecycle ops. Additions are kind-tagged (0 = graph view with its
+  // node count + edge triples, 1 = attribute view as a dense block); the
+  // index lists are pre-delta global view indices.
+  w->U32(static_cast<uint32_t>(delta.add_views.size()));
+  for (const serve::ViewAddition& a : delta.add_views) {
+    w->U8(a.attribute ? 1 : 0);
+    if (a.attribute) {
+      w->I64(a.attributes.rows());
+      w->I64(a.attributes.cols());
+      w->F64Vec(a.attributes.data());
+    } else {
+      w->I64(a.graph.num_nodes());
+      w->U64(static_cast<uint64_t>(a.graph.num_edges()));
+      for (const graph::Edge& e : a.graph.edges()) {
+        w->I64(e.u);
+        w->I64(e.v);
+        w->F64(e.weight);
+      }
+    }
+  }
+  w->U32(static_cast<uint32_t>(delta.remove_views.size()));
+  for (int v : delta.remove_views) w->I32(v);
+  w->U32(static_cast<uint32_t>(delta.mask_views.size()));
+  for (int v : delta.mask_views) w->I32(v);
+  w->U32(static_cast<uint32_t>(delta.unmask_views.size()));
+  for (int v : delta.unmask_views) w->I32(v);
+}
+
+bool DecodeViewIndexList(WireReader* r, std::vector<int>* list) {
+  uint32_t count;
+  if (!r->U32(&count) || !r->CheckCount(count, 4)) return false;
+  list->resize(count);
+  for (int& v : *list) {
+    int32_t index;
+    if (!r->I32(&index)) return false;
+    v = index;
+  }
+  return true;
 }
 
 bool DecodeDelta(WireReader* r, serve::GraphDelta* delta) {
@@ -135,7 +173,51 @@ bool DecodeDelta(WireReader* r, serve::GraphDelta* delta) {
       return false;
     }
   }
-  return true;
+  // Lifecycle ops (additions: 1-byte kind + at least an 8-byte count/row
+  // field = 9 wire bytes minimum each; index lists: 4 bytes per entry).
+  uint32_t num_additions;
+  if (!r->U32(&num_additions) || !r->CheckCount(num_additions, 9)) {
+    return false;
+  }
+  delta->add_views.resize(num_additions);
+  for (serve::ViewAddition& a : delta->add_views) {
+    uint8_t kind;
+    if (!r->U8(&kind)) return false;
+    if (kind > 1) return false;
+    a.attribute = kind == 1;
+    if (a.attribute) {
+      int64_t rows, cols;
+      std::vector<double> data;
+      if (!r->I64(&rows) || !r->I64(&cols) || !r->F64Vec(&data)) return false;
+      if (rows < 0 || cols < 0 ||
+          data.size() != static_cast<uint64_t>(rows) *
+                             static_cast<uint64_t>(cols)) {
+        return false;
+      }
+      a.attributes = la::DenseMatrix(rows, cols);
+      a.attributes.data() = std::move(data);
+    } else {
+      int64_t num_nodes;
+      uint64_t num_edges;
+      if (!r->I64(&num_nodes) || num_nodes < 0 || !r->U64(&num_edges) ||
+          !r->CheckCount(num_edges, 24)) {
+        return false;
+      }
+      std::vector<graph::Edge> edges;
+      edges.reserve(num_edges);
+      for (uint64_t e = 0; e < num_edges; ++e) {
+        graph::Edge edge;
+        if (!r->I64(&edge.u) || !r->I64(&edge.v) || !r->F64(&edge.weight)) {
+          return false;
+        }
+        edges.push_back(edge);
+      }
+      a.graph = graph::Graph::FromEdges(num_nodes, std::move(edges));
+    }
+  }
+  return DecodeViewIndexList(r, &delta->remove_views) &&
+         DecodeViewIndexList(r, &delta->mask_views) &&
+         DecodeViewIndexList(r, &delta->unmask_views);
 }
 
 }  // namespace
@@ -155,16 +237,19 @@ void EncodeRegisterRequest(const RegisterRequest& msg, WireWriter* w) {
   w->I32(msg.shards);
   w->U8(msg.updatable ? 1 : 0);
   w->I32(msg.knn_k);
+  w->U8(msg.robust_views ? 1 : 0);
   EncodeMvag(msg.mvag, w);
 }
 
 bool DecodeRegisterRequest(WireReader* r, RegisterRequest* msg) {
-  uint8_t updatable;
+  uint8_t updatable, robust_views;
   if (!r->Str(&msg->id) || !r->I32(&msg->shards) || !r->U8(&updatable) ||
-      !r->I32(&msg->knn_k) || !DecodeMvag(r, &msg->mvag)) {
+      !r->I32(&msg->knn_k) || !r->U8(&robust_views) ||
+      !DecodeMvag(r, &msg->mvag)) {
     return false;
   }
   msg->updatable = updatable != 0;
+  msg->robust_views = robust_views != 0;
   return r->Finish();
 }
 
@@ -204,15 +289,17 @@ void EncodeSolveRequest(const SolveWireRequest& msg, WireWriter* w) {
   w->U8(msg.warm_start ? 1 : 0);
   w->U8(msg.coalesce ? 1 : 0);
   w->U8(static_cast<uint8_t>(msg.quality));
+  w->U8(msg.robust ? 1 : 0);
 }
 
 bool DecodeSolveRequest(WireReader* r, SolveWireRequest* msg) {
-  uint8_t mode, algorithm, warm_start, coalesce, quality;
+  uint8_t mode, algorithm, warm_start, coalesce, quality, robust;
   if (!r->Str(&msg->graph_id) || !r->U8(&mode) || !r->U8(&algorithm) ||
       !r->I32(&msg->k) || !r->U8(&warm_start) || !r->U8(&coalesce) ||
-      !r->U8(&quality) || !r->Finish()) {
+      !r->U8(&quality) || !r->U8(&robust) || !r->Finish()) {
     return false;
   }
+  msg->robust = robust != 0;
   if (mode > static_cast<uint8_t>(serve::SolveMode::kEmbed)) return false;
   if (algorithm > static_cast<uint8_t>(serve::Algorithm::kSglaPlus)) {
     return false;
@@ -233,6 +320,8 @@ void EncodeSolveReply(const SolveReply& msg, WireWriter* w) {
   w->U8(msg.warm_started ? 1 : 0);
   w->I64(msg.lanczos_iterations);
   w->U8(msg.tier_served);
+  w->I32(msg.active_views);
+  w->I32(msg.total_views);
   if (msg.mode == static_cast<uint8_t>(serve::SolveMode::kCluster)) {
     w->I32Vec(msg.labels);
   } else {
@@ -252,6 +341,7 @@ bool DecodeSolveReply(WireReader* r, SolveReply* msg) {
   if (msg->tier_served > static_cast<uint8_t>(serve::Quality::kRefined)) {
     return false;
   }
+  if (!r->I32(&msg->active_views) || !r->I32(&msg->total_views)) return false;
   msg->warm_started = warm_started != 0;
   if (msg->mode == static_cast<uint8_t>(serve::SolveMode::kCluster)) {
     if (!r->I32Vec(&msg->labels)) return false;

@@ -39,6 +39,9 @@ struct RegisterRequest {
   bool updatable = true;
   /// KNN neighbor count for attribute views; 0 = server default.
   int32_t knn_k = 0;
+  /// Registration-time robust default: every solve on this graph runs the
+  /// robust objective (serve::RegisterOptions::robust_views).
+  bool robust_views = false;
 };
 
 struct RegisterReply {
@@ -70,6 +73,9 @@ struct SolveWireRequest {
   /// Serving tier (see serve::Quality). Graphs without a coarse companion
   /// quietly serve exact; the reply's tier_served says what actually ran.
   serve::Quality quality = serve::Quality::kExact;
+  /// Run the robust objective (serve::SolveRequest::robust; ORed with the
+  /// graph's registration default). Part of the coalescing key server-side.
+  bool robust = false;
 };
 
 struct SolveReply {
@@ -80,6 +86,10 @@ struct SolveReply {
   int64_t lanczos_iterations = 0;
   /// serve::Quality that actually served the solve (kExact on fallback).
   uint8_t tier_served = 0;
+  /// View-lifecycle visibility: views the solve served over / resident
+  /// total (serve::SolveStats::active_views / total_views).
+  int32_t active_views = 0;
+  int32_t total_views = 0;
   std::vector<int32_t> labels;  ///< kCluster
   la::DenseMatrix embedding;    ///< kEmbed
 };

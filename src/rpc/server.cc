@@ -346,6 +346,7 @@ void Server::DispatchSolve(Connection* conn, uint64_t request_id,
   request.k = wire.k;
   request.warm_start = wire.warm_start;
   request.quality = wire.quality;
+  request.robust = wire.robust;
 
   serve::SubmitOptions submit;
   submit.coalesce = wire.coalesce && options_.allow_coalescing;
@@ -369,6 +370,8 @@ void Server::DispatchSolve(Connection* conn, uint64_t request_id,
           reply.warm_started = result->stats.warm_started;
           reply.lanczos_iterations = result->stats.lanczos_iterations;
           reply.tier_served = static_cast<uint8_t>(result->stats.tier_served);
+          reply.active_views = result->stats.active_views;
+          reply.total_views = result->stats.total_views;
           reply.labels = result->labels;
           reply.embedding = result->embedding;
           WireWriter w;
@@ -445,6 +448,7 @@ void Server::DispatchControl(Connection* conn, const FrameHeader& header,
         options.shards = std::max(1, static_cast<int>(request.shards));
         options.updatable = request.updatable;
         if (request.knn_k > 0) options.knn.k = request.knn_k;
+        options.robust_views = request.robust_views;
         auto entry = engine_->RegisterGraph(request.id, request.mvag, options);
         if (!entry.ok()) {
           frame = BuildErrorFrame(request_id, entry.status());

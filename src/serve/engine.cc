@@ -13,7 +13,7 @@ namespace serve {
 
 Engine::Engine(GraphRegistry* registry, const EngineOptions& options)
     : registry_(registry),
-      cache_(options.cache_capacity),
+      cache_(options.cache_capacity, options.cache_ttl_ms),
       warm_cache_(options.warm_cache),
       max_pending_(options.max_pending),
       workspaces_(static_cast<size_t>(std::max(1, options.num_sessions))),
@@ -106,7 +106,8 @@ Status Engine::TrySubmit(SolveRequest request, SolveCallback done,
   const int k = request.k > 0 ? request.k : entry->num_clusters;
   const SolveCache::Key key{request.graph_id, static_cast<int>(request.mode),
                             static_cast<int>(request.algorithm), k,
-                            static_cast<int>(request.quality)};
+                            static_cast<int>(request.quality),
+                            request.robust || entry->robust_views ? 1 : 0};
 
   std::shared_ptr<Flight> flight;
   {
@@ -242,10 +243,14 @@ Result<SolveResponse> Engine::Run(const SolveRequest& request,
   // Cold requests take the historical trajectory untouched. The key carries
   // the *resolved* quality: fast-tier entries are coarse-sized and must
   // never collide with exact ones.
+  // Robust mode: the per-request flag ORs with the graph's registration
+  // default, and the effective flag keys the cache (robust optima sit away
+  // from plain ones — the tiers must never cross-seed).
+  const bool robust = request.robust || entry.robust_views;
   const SolveCache::Key cache_key{request.graph_id,
                                   static_cast<int>(request.mode),
                                   static_cast<int>(request.algorithm), k,
-                                  static_cast<int>(quality)};
+                                  static_cast<int>(quality), robust ? 1 : 0};
   std::shared_ptr<const SolveCache::Entry> warm;
   if (request.warm_start) {
     warm = cache_.Lookup(cache_key);
@@ -253,13 +258,18 @@ Result<SolveResponse> Engine::Run(const SolveRequest& request,
     // registration* under this id (a late Store can land after EvictGraph
     // invalidated the bank); updates keep their lineage, so seeds survive
     // epochs exactly as intended. num_nodes guards against size drift —
-    // for the fast tier that is the coarse row count.
+    // for the fast tier that is the coarse row count — and the active-set
+    // signature rejects seeds computed over a different view subset (a
+    // lifecycle epoch changes the spectrum discontinuously; those re-solves
+    // must start cold).
     if (warm != nullptr && (warm->lineage != entry.lineage ||
-                            warm->num_nodes != solve_rows)) {
+                            warm->num_nodes != solve_rows ||
+                            warm->views_signature != entry.views_signature)) {
       warm = nullptr;
     }
   }
   core::SglaPlusOptions options = request.options;
+  options.base.objective.robust = robust;
   Quality tier_served = fast ? Quality::kFast : Quality::kExact;
   int64_t coarse_iterations = 0;
   if (warm != nullptr) {
@@ -272,12 +282,14 @@ Result<SolveResponse> Engine::Run(const SolveRequest& request,
     // classic multigrid initial guess). A banked seed above supersedes this
     // (it is already fine-sized and closer); a failed pre-solve falls back
     // to a cold exact solve rather than failing the request.
+    // `options` (not request.options) so the pre-solve honors robust mode;
+    // no warm fields are set on it yet in this branch.
     Result<core::IntegrationResult> presolve =
         request.algorithm == Algorithm::kSgla
             ? core::SglaOnAggregator(*coarse->aggregator, k,
-                                     request.options.base, &ws->coarse_eval)
+                                     options.base, &ws->coarse_eval)
             : core::SglaPlusOnAggregator(*coarse->aggregator, k,
-                                         request.options, &ws->coarse_eval);
+                                         options, &ws->coarse_eval);
     if (presolve.ok() &&
         ws->coarse_eval.eigen.vectors.rows() == coarse->plan.coarse_rows &&
         ws->coarse_eval.eigen.vectors.cols() > 0) {
@@ -324,6 +336,8 @@ Result<SolveResponse> Engine::Run(const SolveRequest& request,
   response.stats.lanczos_iterations = response.integration.lanczos_iterations;
   response.stats.tier_served = tier_served;
   response.stats.coarse_lanczos_iterations = coarse_iterations;
+  response.stats.active_views = entry.num_active_views();
+  response.stats.total_views = static_cast<int32_t>(entry.views.size());
 
   // Bank the last evaluation's spectrum for future warm starts (a probe
   // point near w* — the final aggregation runs no eigensolve, and "near the
@@ -351,6 +365,7 @@ Result<SolveResponse> Engine::Run(const SolveRequest& request,
     banked.lineage = entry.lineage;
     banked.epoch = entry.epoch;
     banked.num_nodes = solve_rows;
+    banked.views_signature = entry.views_signature;
     banked.weights = response.integration.weights;
     banked.ritz_vectors = eigen.vectors;
   }

@@ -76,6 +76,14 @@ struct SolveRequest {
   /// coalescing key, so a fast solve can never seed, mask, or be masked by
   /// an exact one.
   Quality quality = Quality::kExact;
+  /// Run the robust (corrupted-view-resistant) objective: the weight search
+  /// adds the cross-view agreement penalty
+  /// (core::ObjectiveOptions::robust), down-weighting views whose spectra
+  /// disagree with the median view. ORed with the graph's registration-time
+  /// RegisterOptions::robust_views; the effective flag joins the SolveCache
+  /// and coalescing keys, so robust and plain solves never cross-seed or
+  /// coalesce.
+  bool robust = false;
   /// `options.base` configures kSgla; the full struct configures kSglaPlus.
   core::SglaPlusOptions options;
   cluster::KMeansOptions kmeans;  ///< kCluster backend
@@ -100,6 +108,11 @@ struct SolveStats {
   int64_t coarse_lanczos_iterations = 0;
   /// Basis vectors of the clustering embedding eigensolve (0 for kEmbed).
   int64_t embedding_lanczos_iterations = 0;
+  /// View-lifecycle visibility: how many views the solve actually served
+  /// over (the active subset) out of the entry's resident total — equal
+  /// unless some view is masked.
+  int32_t active_views = 0;
+  int32_t total_views = 0;
 };
 
 struct SolveResponse {
@@ -133,6 +146,12 @@ struct EngineOptions {
   /// (graph, mode, algorithm, k, quality) combinations stop growing without
   /// bound, at the cost of re-cold-starting evicted keys.
   size_t cache_capacity = 0;
+  /// Maximum SolveCache entry age in milliseconds (monotonic clock); 0
+  /// (default) never expires. A long-idle graph's banked spectrum may trail
+  /// the current epoch by arbitrarily many deltas — past the TTL the bank
+  /// treats it as a miss (and drops it), so stale seeds cost a cold start
+  /// instead of extra Lanczos iterations chasing a drifted spectrum.
+  int64_t cache_ttl_ms = 0;
 };
 
 /// Per-call submission knobs for the callback form.

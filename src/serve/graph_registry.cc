@@ -22,23 +22,69 @@ uint64_t NextLineage() {
 constexpr double kCoarseChurnThreshold = 0.05;
 constexpr int64_t kMinCoarsenFineRows = 64;
 
-// Contracts view `v` onto the coarse node set. Graph views contract directly
-// (Galerkin similarity + re-normalize); attribute views average the fine
-// attribute rows per cluster and re-run that view's KNN on the coarse
+// Order-sensitive FNV-1a fold of the active view uids — the active-set
+// epoch stamp (GraphEntry::views_signature). Masking, unmasking, adding, or
+// removing a view all change it; pure edits and the epoch counter do not.
+uint64_t ActiveViewsSignature(const std::vector<uint64_t>& uids,
+                              const std::vector<bool>& active) {
+  uint64_t hash = 1469598103934665603ull;
+  for (size_t v = 0; v < uids.size(); ++v) {
+    if (!active.empty() && !active[v]) continue;
+    uint64_t x = uids[v];
+    for (int b = 0; b < 8; ++b) {
+      hash ^= x & 0xffu;
+      hash *= 1099511628211ull;
+      x >>= 8;
+    }
+  }
+  return hash;
+}
+
+// Fills the entry's serving-subset state (active_views, active_to_global,
+// views_signature) from views/view_uids/active. The compacted vectors stay
+// empty when everything is active — serving then reads `views` directly,
+// exactly the pre-lifecycle layout.
+void BuildActiveState(GraphEntry* entry) {
+  entry->views_signature =
+      ActiveViewsSignature(entry->view_uids, entry->active);
+  entry->active_views.clear();
+  entry->active_to_global.clear();
+  bool all_active = true;
+  for (size_t v = 0; v < entry->active.size(); ++v) {
+    all_active = all_active && entry->active[v];
+  }
+  if (all_active) return;
+  for (size_t v = 0; v < entry->views.size(); ++v) {
+    if (!entry->active[v]) continue;
+    entry->active_views.push_back(entry->views[v]);
+    entry->active_to_global.push_back(static_cast<int>(v));
+  }
+}
+
+// Contracts serving view `v` onto the coarse node set. Graph views contract
+// directly (Galerkin similarity + re-normalize); attribute views average the
+// fine attribute rows per cluster and re-run that view's KNN on the coarse
 // attributes, so the coarse view reflects coarse-level neighborhoods instead
-// of a contraction of fine KNN edges. Without a source graph (RegisterViews)
-// every view contracts directly — the registry cannot tell them apart.
+// of a contraction of fine KNN edges. `to_global` maps a serving index to
+// the mvag's global view index (null = identity, i.e. nothing masked).
+// Without a source graph (RegisterViews) every view contracts directly —
+// the registry cannot tell them apart.
 Result<la::CsrMatrix> ContractOneView(
     const std::vector<la::CsrMatrix>& fine_views,
     const coarse::CoarsePlan& plan, const core::MultiViewGraph* mvag,
-    const graph::KnnOptions& knn, size_t v) {
+    const graph::KnnOptions& knn, size_t v,
+    const std::vector<int>* to_global) {
+  const size_t global =
+      to_global == nullptr || to_global->empty()
+          ? v
+          : static_cast<size_t>((*to_global)[v]);
   const size_t num_graph_views =
       mvag == nullptr ? fine_views.size() : mvag->graph_views().size();
-  if (v < num_graph_views) {
+  if (global < num_graph_views) {
     return coarse::ContractView(fine_views[v], plan);
   }
   const la::DenseMatrix& attributes =
-      mvag->attribute_views()[v - num_graph_views];
+      mvag->attribute_views()[global - num_graph_views];
   core::MultiViewGraph coarse_mvag(plan.coarse_rows, 0);
   coarse_mvag.AddAttributeView(coarse::AverageRows(attributes, plan));
   return core::ComputeViewLaplacian(coarse_mvag, 0, knn);
@@ -48,22 +94,27 @@ Result<la::CsrMatrix> ContractOneView(
 // coarsening is off, the graph is too small, or the matching achieved no
 // reduction. The companion is best-effort: a view that fails to contract
 // (degenerate coarse KNN) drops the companion rather than the registration.
+// Contracts the SERVING views — with a masked entry the companion covers the
+// active subset only, matching what a fresh registration of that subset
+// would build.
 std::unique_ptr<const CoarseGraphEntry> BuildCoarseEntry(
     const GraphEntry& entry, const core::MultiViewGraph* mvag,
     const graph::KnnOptions& knn, double ratio) {
   if (ratio <= 0.0 || entry.num_nodes < kMinCoarsenFineRows) return nullptr;
+  const std::vector<la::CsrMatrix>& fine = entry.serving_views();
   coarse::CoarsenOptions options;
   options.ratio = ratio;
   std::unique_ptr<CoarseGraphEntry> companion(new CoarseGraphEntry);
   companion->plan = coarse::BuildCoarsePlan(entry.aggregator->pattern(),
-                                            entry.views, options);
+                                            fine, options);
   if (companion->plan.coarse_rows >= entry.num_nodes ||
       companion->plan.coarse_rows < 2) {
     return nullptr;
   }
-  companion->views.reserve(entry.views.size());
-  for (size_t v = 0; v < entry.views.size(); ++v) {
-    auto view = ContractOneView(entry.views, companion->plan, mvag, knn, v);
+  companion->views.reserve(fine.size());
+  for (size_t v = 0; v < fine.size(); ++v) {
+    auto view = ContractOneView(fine, companion->plan, mvag, knn, v,
+                                &entry.active_to_global);
     if (!view.ok()) return nullptr;
     companion->views.push_back(std::move(*view));
   }
@@ -86,7 +137,20 @@ std::shared_ptr<util::TaskQueue> GraphRegistry::ShardQueue() {
 Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Publish(
     std::shared_ptr<GraphEntry> entry, const RegisterOptions& options,
     std::shared_ptr<GraphSource> source, const core::MultiViewGraph* mvag) {
-  entry->aggregator.reset(new core::LaplacianAggregator(&entry->views));
+  // Registration-time active-set state: every view active, uids 1..V (an
+  // update source's AddView continues from next_view_uid).
+  if (entry->view_uids.size() != entry->views.size()) {
+    entry->view_uids.resize(entry->views.size());
+    for (size_t v = 0; v < entry->views.size(); ++v) {
+      entry->view_uids[v] = static_cast<uint64_t>(v) + 1;
+    }
+  }
+  entry->active.assign(entry->views.size(), true);
+  entry->robust_views = options.robust_views;
+  BuildActiveState(entry.get());
+  const std::vector<la::CsrMatrix>* serving =
+      entry->active_views.empty() ? &entry->views : &entry->active_views;
+  entry->aggregator.reset(new core::LaplacianAggregator(serving));
   if (options.shards > 1 && entry->num_nodes > 0) {
     ShardPlan plan = MakeShardPlan(entry->num_nodes, options.shards);
     // A plan that collapsed to one shard is exactly the unsharded path;
@@ -94,7 +158,7 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Publish(
     if (plan.num_shards() > 1) {
       std::vector<int64_t> boundaries = plan.boundaries;
       entry->sharded.reset(new ShardedGraphEntry{
-          std::move(plan), core::ShardedAggregator(&entry->views,
+          std::move(plan), core::ShardedAggregator(serving,
                                                    std::move(boundaries),
                                                    ShardQueue())});
     }
@@ -138,6 +202,8 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Register(
     source = std::make_shared<GraphSource>();
     source->mvag = mvag;
     source->knn = options.knn;
+    // Registration consumes uids 1..V (see Publish); AddView continues here.
+    source->next_view_uid = entry->views.size() + 1;
   }
   return Publish(std::move(entry), options, std::move(source), &mvag);
 }
@@ -207,10 +273,18 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::UpdateGraph(
   }
   if (delta.empty()) return old;
 
-  // Validate-then-apply: a rejected delta leaves the source untouched.
-  std::vector<bool> affected;
-  Status applied = ApplyDelta(&source->mvag, delta, &affected);
+  // Validate-then-apply: a rejected delta leaves the source untouched. The
+  // published entry's activity mask is authoritative here — we hold the
+  // update lock, so no other epoch can flip it concurrently.
+  DeltaEffects effects;
+  Status applied = ApplyDelta(&source->mvag, delta, old->active, &effects);
   if (!applied.ok()) return applied;
+  const std::vector<bool>& affected = effects.affected;
+
+  bool was_masked = false;
+  for (size_t v = 0; v < old->active.size(); ++v) {
+    was_masked = was_masked || !old->active[v];
+  }
 
   // Copy-on-write next epoch: unaffected views are carried over bitwise
   // (cheap copies, and the precondition for pattern reuse), affected views
@@ -221,7 +295,68 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::UpdateGraph(
   entry->epoch = old->epoch + 1;
   entry->num_nodes = old->num_nodes;
   entry->num_clusters = old->num_clusters;
+  entry->coarsen_ratio = old->coarsen_ratio;
+  entry->robust_views = old->robust_views;
+
+  if (effects.lifecycle || was_masked) {
+    // View-lifecycle epoch (or an edit while some view is masked): the view
+    // set changed shape, so the donor-copy machinery below does not apply —
+    // rebuild the serving state from scratch over the active subset, which
+    // is exactly what registering that subset fresh would build (the
+    // bit-identity contract for masked/removed-view solves). Carried,
+    // unedited views copy their Laplacians bitwise; carried uids keep the
+    // active-set signature honest; masked views stay resident so UnmaskView
+    // is a flip, not a KNN re-run.
+    const size_t post = effects.carried_from.size();
+    entry->views.resize(post);
+    entry->view_uids.resize(post);
+    entry->active = effects.active;
+    for (size_t v = 0; v < post; ++v) {
+      const int from = effects.carried_from[v];
+      entry->view_uids[v] =
+          from >= 0 ? old->view_uids[static_cast<size_t>(from)]
+                    : source->next_view_uid++;
+      if (from >= 0 && !affected[v]) {
+        entry->views[v] = old->views[static_cast<size_t>(from)];
+        continue;
+      }
+      auto laplacian = core::ComputeViewLaplacian(
+          source->mvag, static_cast<int>(v), source->knn);
+      if (!laplacian.ok()) return laplacian.status();
+      entry->views[v] = std::move(*laplacian);
+    }
+    BuildActiveState(entry.get());
+    const std::vector<la::CsrMatrix>* serving =
+        entry->active_views.empty() ? &entry->views : &entry->active_views;
+    entry->aggregator.reset(new core::LaplacianAggregator(serving));
+    if (old->sharded != nullptr) {
+      // Same node count, same shard option: the carried plan is exactly what
+      // MakeShardPlan would rebuild, so fresh-registration bit-identity holds.
+      ShardPlan plan = old->sharded->plan;
+      std::vector<int64_t> boundaries = plan.boundaries;
+      entry->sharded.reset(new ShardedGraphEntry{
+          std::move(plan), core::ShardedAggregator(serving,
+                                                   std::move(boundaries),
+                                                   ShardQueue())});
+    }
+    entry->coarse = BuildCoarseEntry(*entry, &source->mvag, source->knn,
+                                     entry->coarsen_ratio);
+
+    std::shared_ptr<const GraphEntry> published = std::move(entry);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = graphs_.find(id);
+    if (it == graphs_.end() || it->second != old) {
+      return NotFound("graph '" + id +
+                      "' was evicted or replaced during the update");
+    }
+    it->second = published;
+    return published;
+  }
+
   entry->views = old->views;
+  entry->view_uids = old->view_uids;
+  entry->active = old->active;  // all active on this path
+  entry->views_signature = old->views_signature;
   bool value_only = true;
   // Fine rows whose *structural* slots changed in some view, and their count
   // (churn). The coarse plan is a pure function of structure, so these rows
@@ -289,7 +424,6 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::UpdateGraph(
   // affected clusters in place; heavy churn re-coarsens from scratch (which
   // also makes update-then-solve equal re-register-then-solve above the
   // threshold).
-  entry->coarsen_ratio = old->coarsen_ratio;
   if (old->coarse != nullptr) {
     const double churn_limit =
         kCoarseChurnThreshold * static_cast<double>(entry->num_nodes);
@@ -309,7 +443,7 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::UpdateGraph(
         // re-contract; an unchanged plan re-contracts only touched views.
         if (plan_unchanged && !affected[v]) continue;
         auto view = ContractOneView(entry->views, companion->plan,
-                                    &source->mvag, source->knn, v);
+                                    &source->mvag, source->knn, v, nullptr);
         if (!view.ok()) {
           companion.reset();
           break;

@@ -44,6 +44,13 @@ struct RegisterOptions {
   /// companion (tiered requests then quietly serve exact). Tiny graphs, and
   /// graphs whose matching cannot shrink them, skip the companion too.
   double coarsen_ratio = 0.1;
+  /// Serve every solve of this graph in robust mode by default (see
+  /// core::ObjectiveOptions::robust and DESIGN.md "View lifecycle & robust
+  /// mode"): the objective adds a cross-view agreement penalty that
+  /// down-weights views whose Laplacian disagrees with the consensus
+  /// spectrum. Individual requests can also opt in per solve
+  /// (SolveRequest::robust); the flags OR together.
+  bool robust_views = false;
 };
 
 /// Row-sharded serving state of a registered graph: the deterministic shard
@@ -93,9 +100,50 @@ struct GraphEntry {
   int64_t epoch = 0;
   int64_t num_nodes = 0;
   int num_clusters = 0;  ///< default k for requests that don't set one
+  /// EVERY current view of the graph, masked ones included (global view
+  /// order: graph views first). Masked views keep their precomputed
+  /// Laplacians here so UnmaskView is a cheap epoch flip, no KNN re-run.
   std::vector<la::CsrMatrix> views;
+  /// Stable per-view identity, parallel to `views`: assigned at registration
+  /// (and by AddView) and carried unchanged across epochs, so the active-set
+  /// signature below distinguishes "view 2 was removed" from "view 2 was
+  /// replaced by a different view at the same index".
+  std::vector<uint64_t> view_uids;
+  /// Activity mask, parallel to `views`; all-true at registration, flipped
+  /// by MaskView/UnmaskView deltas.
+  std::vector<bool> active;
+  /// Order-sensitive FNV-1a fold of the ACTIVE view uids — the active-set
+  /// epoch stamp. SolveCache entries carry it so a warm seed (whose weight
+  /// vector and spectrum are functions of the active subset) can never leak
+  /// across a lifecycle change; bitdump prints it as the active-set
+  /// fingerprint.
+  uint64_t views_signature = 0;
+  /// Compacted active-view Laplacians, populated ONLY when some view is
+  /// masked; empty otherwise (then `views` itself is the serving set, as
+  /// before this field existed). Serving through a genuinely compacted
+  /// vector — not zero weights over the full union — keeps the union
+  /// pattern, SIMD lane layout, and therefore every solve bit-identical to
+  /// registering the active subset from scratch.
+  std::vector<la::CsrMatrix> active_views;
+  /// Serving index -> index into `views`; parallel to serving_views().
+  /// Identity (and left empty) when nothing is masked.
+  std::vector<int> active_to_global;
+  /// Registration default for SolveRequest::robust (RegisterOptions).
+  bool robust_views = false;
+
+  /// The views solves run on: the compacted active subset when any view is
+  /// masked, otherwise all views.
+  const std::vector<la::CsrMatrix>& serving_views() const {
+    return active_views.empty() ? views : active_views;
+  }
+  int num_active_views() const {
+    return static_cast<int>(active_views.empty() ? views.size()
+                                                 : active_views.size());
+  }
+
   /// Built after `views` is in place (it keeps a pointer into the entry);
   /// entries are therefore handed out only behind shared_ptr and never moved.
+  /// Aggregates serving_views() — the compacted subset when masked.
   std::unique_ptr<core::LaplacianAggregator> aggregator;
   /// Present iff the graph was registered with shards > 1 (and is large
   /// enough to split); solves then run shard-by-shard.
@@ -150,6 +198,15 @@ class GraphRegistry {
   /// only the shards whose slices changed (the unsharded union pattern, used
   /// by unsharded solves, is rebuilt whole). An empty delta returns the
   /// current entry without bumping the epoch.
+  ///
+  /// Lifecycle deltas (AddView/RemoveView/MaskView/UnmaskView), and any
+  /// delta applied while some view is masked, rebuild the serving state
+  /// (aggregators, shard slices, coarse companion) from scratch over the
+  /// active view subset — exactly what registering that subset fresh would
+  /// build, so masked/removed-view solves are bit-identical to a fresh
+  /// registration of the subset. AddView precomputes the Laplacian (and,
+  /// for attribute views, the KNN graph) of just the new view; MaskView
+  /// keeps the view's Laplacian so a later UnmaskView recomputes nothing.
   Result<std::shared_ptr<const GraphEntry>> UpdateGraph(
       const std::string& id, const GraphDelta& delta);
 
@@ -172,6 +229,9 @@ class GraphRegistry {
   struct GraphSource {
     core::MultiViewGraph mvag;
     graph::KnnOptions knn;
+    /// Next view uid AddView hands out (registration consumed 1..V).
+    /// Mutated only under `mutex`, like `mvag`.
+    uint64_t next_view_uid = 1;
     std::mutex mutex;
   };
 

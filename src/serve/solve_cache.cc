@@ -1,15 +1,34 @@
 #include "serve/solve_cache.h"
 
+#include <chrono>
 #include <utility>
 
 namespace sgla {
 namespace serve {
+
+int64_t SolveCache::NowMs() const {
+  if (clock_for_test_) return clock_for_test_();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SolveCache::SetClockForTest(std::function<int64_t()> now_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_for_test_ = std::move(now_ms);
+}
 
 std::shared_ptr<const SolveCache::Entry> SolveCache::Lookup(
     const Key& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return nullptr;
+  if (ttl_ms_ > 0 && NowMs() - it->second.stored_ms >= ttl_ms_) {
+    // Expired: a miss, and the slot is dead weight — drop it now rather than
+    // waiting for LRU pressure.
+    entries_.erase(it);
+    return nullptr;
+  }
   it->second.last_used = ++tick_;
   return it->second.entry;
 }
@@ -20,6 +39,7 @@ void SolveCache::Store(const Key& key, Entry entry) {
   Slot& slot = entries_[key];
   slot.entry = std::make_shared<const Entry>(std::move(entry));
   slot.last_used = tick_;
+  slot.stored_ms = NowMs();
   if (capacity_ == 0) return;
   while (entries_.size() > capacity_) {
     auto stalest = entries_.begin();
@@ -32,7 +52,7 @@ void SolveCache::Store(const Key& key, Entry entry) {
 
 void SolveCache::Invalidate(const std::string& graph_id) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.lower_bound(Key{graph_id, 0, 0, 0, 0});
+  auto it = entries_.lower_bound(Key{graph_id, 0, 0, 0, 0, 0});
   while (it != entries_.end() && it->first.graph_id == graph_id) {
     it = entries_.erase(it);
   }

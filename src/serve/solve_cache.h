@@ -2,6 +2,7 @@
 #define SGLA_SERVE_SOLVE_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -40,11 +41,14 @@ class SolveCache {
     int algorithm = 0;
     int k = 0;
     int quality = 0;
+    /// 1 when the solve ran the robust objective — a robust solve's weights
+    /// sit away from the plain optimum, so the tiers never cross-seed.
+    int robust = 0;
 
     bool operator<(const Key& other) const {
-      return std::tie(graph_id, mode, algorithm, k, quality) <
+      return std::tie(graph_id, mode, algorithm, k, quality, robust) <
              std::tie(other.graph_id, other.mode, other.algorithm, other.k,
-                      other.quality);
+                      other.quality, other.robust);
     }
   };
 
@@ -57,6 +61,11 @@ class SolveCache {
     uint64_t lineage = 0;
     int64_t epoch = 0;      ///< graph epoch the solve ran against
     int64_t num_nodes = 0;  ///< seed validity guard (must match the graph)
+    /// Active-view-set signature of the entry the solve ran against: a warm
+    /// seed is honored only when the current entry's signature matches, so a
+    /// mask/unmask/add/remove lifecycle epoch never inherits Ritz vectors
+    /// computed over a different view subset.
+    uint64_t views_signature = 0;
     /// Age stamp: the monotonic cache tick at which the entry was stored.
     /// Strictly increasing across stores, so callers (and tests) can order
     /// generations without wall-clock.
@@ -75,8 +84,13 @@ class SolveCache {
   };
 
   /// `capacity` = max entries kept; 0 (default) means unbounded, the
-  /// pre-LRU behavior.
-  explicit SolveCache(size_t capacity = 0) : capacity_(capacity) {}
+  /// pre-LRU behavior. `ttl_ms` = max age in milliseconds before a stored
+  /// entry stops being served (0 = never expires): an over-TTL entry is
+  /// treated as a miss and dropped on the lookup that finds it stale, so a
+  /// long-idle graph's re-solve starts cold instead of chasing a spectrum
+  /// that may have drifted through many unobserved epochs.
+  explicit SolveCache(size_t capacity = 0, int64_t ttl_ms = 0)
+      : capacity_(capacity), ttl_ms_(ttl_ms) {}
 
   /// The current entry for `key`, or null. The returned snapshot stays valid
   /// for as long as it is held, across any concurrent Store/Invalidate. A
@@ -95,17 +109,28 @@ class SolveCache {
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
+  int64_t ttl_ms() const { return ttl_ms_; }
+
+  /// Test hook: replaces the monotonic millisecond clock TTL expiry reads
+  /// (std::chrono::steady_clock by default). Never wall-clock — entries age
+  /// by process uptime, immune to clock steps.
+  void SetClockForTest(std::function<int64_t()> now_ms);
 
  private:
   struct Slot {
     std::shared_ptr<const Entry> entry;
     uint64_t last_used = 0;
+    int64_t stored_ms = 0;  ///< monotonic clock at Store, for TTL expiry
   };
 
+  int64_t NowMs() const;
+
   const size_t capacity_;
+  const int64_t ttl_ms_;
   mutable std::mutex mutex_;
   mutable uint64_t tick_ = 0;  ///< monotonic recency counter, under mutex_
   mutable std::map<Key, Slot> entries_;
+  std::function<int64_t()> clock_for_test_;  ///< null = steady_clock
 };
 
 }  // namespace serve

@@ -205,6 +205,19 @@ TEST(MessagesTest, UpdateRequestRoundTrip) {
   row.row = 9;
   row.values = {1.0, 2.0, 3.0};
   msg.delta.attribute_rows.push_back(row);
+  // View-lifecycle ops: one graph addition, one attribute addition, plus
+  // removal/mask/unmask index lists.
+  serve::ViewAddition add_graph;
+  add_graph.graph = graph::Graph::FromEdges(10, {{0, 1, 2.0}, {2, 3, 1.0}});
+  msg.delta.add_views.push_back(add_graph);
+  serve::ViewAddition add_attr;
+  add_attr.attribute = true;
+  add_attr.attributes = la::DenseMatrix(10, 2);
+  add_attr.attributes.data()[3] = 7.5;
+  msg.delta.add_views.push_back(add_attr);
+  msg.delta.remove_views = {2};
+  msg.delta.mask_views = {0, 1};
+  msg.delta.unmask_views = {3};
 
   WireWriter w;
   EncodeUpdateRequest(msg, &w);
@@ -218,6 +231,56 @@ TEST(MessagesTest, UpdateRequestRoundTrip) {
   EXPECT_EQ(decoded.delta.graph_views[0].removals[0].v, 4);
   ASSERT_EQ(decoded.delta.attribute_rows.size(), 1u);
   EXPECT_EQ(decoded.delta.attribute_rows[0].values, row.values);
+  ASSERT_EQ(decoded.delta.add_views.size(), 2u);
+  EXPECT_FALSE(decoded.delta.add_views[0].attribute);
+  EXPECT_EQ(decoded.delta.add_views[0].graph.num_nodes(), 10);
+  ASSERT_EQ(decoded.delta.add_views[0].graph.num_edges(), 2);
+  EXPECT_EQ(decoded.delta.add_views[0].graph.edges()[0].weight, 2.0);
+  EXPECT_TRUE(decoded.delta.add_views[1].attribute);
+  EXPECT_EQ(decoded.delta.add_views[1].attributes.rows(), 10);
+  EXPECT_EQ(decoded.delta.add_views[1].attributes.data()[3], 7.5);
+  EXPECT_EQ(decoded.delta.remove_views, msg.delta.remove_views);
+  EXPECT_EQ(decoded.delta.mask_views, msg.delta.mask_views);
+  EXPECT_EQ(decoded.delta.unmask_views, msg.delta.unmask_views);
+}
+
+TEST(MessagesTest, HostileLifecycleCountsAndKindsAreRejected) {
+  // A well-formed empty-delta update, then corruptions of the lifecycle
+  // section: an addition count the payload cannot hold, and an unknown
+  // addition kind byte.
+  UpdateRequest msg;
+  msg.id = "g";
+  msg.delta.mask_views = {0};
+  WireWriter w;
+  EncodeUpdateRequest(msg, &w);
+  std::vector<uint8_t> buffer = w.TakeBuffer();
+  {  // hostile add_views count (patch the u32 right after the two empty
+     // edit sections: 4-byte id length + 1 id byte + 4 + 4)
+    std::vector<uint8_t> corrupt = buffer;
+    const size_t additions_at = 4 + 1 + 4 + 4;
+    corrupt[additions_at] = 0xff;
+    corrupt[additions_at + 1] = 0xff;
+    corrupt[additions_at + 2] = 0xff;
+    WireReader r(corrupt.data(), corrupt.size());
+    UpdateRequest decoded;
+    EXPECT_FALSE(DecodeUpdateRequest(&r, &decoded));
+  }
+  {  // unknown addition kind byte
+    UpdateRequest add;
+    add.id = "g";
+    serve::ViewAddition a;
+    a.graph = graph::Graph::FromEdges(4, {{0, 1, 1.0}});
+    add.delta.add_views.push_back(a);
+    WireWriter aw;
+    EncodeUpdateRequest(add, &aw);
+    std::vector<uint8_t> corrupt = aw.TakeBuffer();
+    const size_t kind_at = 4 + 1 + 4 + 4 + 4;  // id + edits + add count
+    ASSERT_EQ(corrupt[kind_at], 0u);
+    corrupt[kind_at] = 9;
+    WireReader r(corrupt.data(), corrupt.size());
+    UpdateRequest decoded;
+    EXPECT_FALSE(DecodeUpdateRequest(&r, &decoded));
+  }
 }
 
 TEST(MessagesTest, SolveMessagesRoundTripAndValidateEnums) {
@@ -229,6 +292,7 @@ TEST(MessagesTest, SolveMessagesRoundTripAndValidateEnums) {
   msg.warm_start = true;
   msg.coalesce = false;
   msg.quality = serve::Quality::kFast;
+  msg.robust = true;
 
   WireWriter w;
   EncodeSolveRequest(msg, &w);
@@ -244,6 +308,7 @@ TEST(MessagesTest, SolveMessagesRoundTripAndValidateEnums) {
     EXPECT_EQ(decoded.warm_start, msg.warm_start);
     EXPECT_EQ(decoded.coalesce, msg.coalesce);
     EXPECT_EQ(decoded.quality, msg.quality);
+    EXPECT_EQ(decoded.robust, msg.robust);
   }
   {  // out-of-range mode byte is rejected, not cast
     std::vector<uint8_t> corrupt = buffer;
@@ -252,9 +317,9 @@ TEST(MessagesTest, SolveMessagesRoundTripAndValidateEnums) {
     SolveWireRequest decoded;
     EXPECT_FALSE(DecodeSolveRequest(&r, &decoded));
   }
-  {  // out-of-range quality byte (the trailing byte) is rejected too
+  {  // out-of-range quality byte (before the trailing robust flag) too
     std::vector<uint8_t> corrupt = buffer;
-    corrupt.back() = 200;
+    corrupt[corrupt.size() - 2] = 200;
     WireReader r(corrupt.data(), corrupt.size());
     SolveWireRequest decoded;
     EXPECT_FALSE(DecodeSolveRequest(&r, &decoded));

@@ -175,6 +175,43 @@ int Run(int shards, serve::Quality quality) {
                   DoubleBits(response->integration.weights[i]));
     }
   }
+
+  // View-lifecycle fingerprints: the active-set signature of the full entry,
+  // then a MaskView epoch and a solve on the compacted serving subset. The
+  // lifecycle rebuild path must be exactly as bit-stable across the
+  // threads/shards matrix as registration is — the signature lines also pin
+  // the FNV-1a uid fold itself.
+  {
+    std::printf("signature full=%016" PRIx64 " uids=%016" PRIx64 "\n",
+                (*entry)->views_signature, HashVector((*entry)->view_uids));
+    serve::GraphDelta mask;
+    mask.mask_views = {1};
+    auto masked = registry.UpdateGraph("bitdump", mask);
+    if (!masked.ok()) {
+      std::fprintf(stderr, "mask delta failed: %s\n",
+                   masked.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("signature masked=%016" PRIx64 " active=%d/%zu\n",
+                (*masked)->views_signature, (*masked)->num_active_views(),
+                (*masked)->views.size());
+    serve::SolveRequest request;
+    request.graph_id = "bitdump";
+    request.quality = quality;
+    request.options.base.max_evaluations = 24;
+    auto response = engine.Solve(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "masked solve failed: %s\n",
+                   response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("masked weights=%016" PRIx64 " history=%016" PRIx64
+                " laplacian=%016" PRIx64 " labels=%016" PRIx64 "\n",
+                HashVector(response->integration.weights),
+                HashVector(response->integration.objective_history),
+                HashCsr(response->integration.laplacian),
+                HashVector(response->labels));
+  }
   return 0;
 }
 

@@ -1,0 +1,185 @@
+// Robust-mode quality gate: builds a clean 2-view SBM fixture sized by
+// SGLA_BENCH_SCALE, then the same fixture with a third, corrupted view
+// appended (an SBM with p_in == p_out — a structure-free random graph,
+// which the plain objective's connectivity term actively REWARDS, random
+// graphs being expanders). Three engine solves:
+//
+//   * clean:       2 views, plain objective       — the reference NMI
+//   * plain-3v:    3 views, plain objective       — must degrade measurably
+//   * robust-3v:   3 views, robust objective      — must hold the line
+//
+// Gate conditions (all must hold):
+//
+//   * robust_nmi >= --min-ratio * clean_nmi   (default 0.85)
+//   * robust_nmi >  plain_nmi                 (robust beats plain on the
+//                                              corrupted fixture)
+//   * plain weight on the noise view > robust weight on it (the penalty
+//     actually moved mass off the corrupted view)
+//
+// CI runs this as the robust-gate step (SGLA_BENCH_SCALE=0.1); the JSON
+// report is archived as an artifact.
+//
+// Usage: sgla_robust_gate [--min-ratio F] [--out PATH]
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "eval/clustering_metrics.h"
+#include "serve/engine.h"
+#include "serve/graph_registry.h"
+#include "util/rng.h"
+
+namespace sgla {
+namespace {
+
+double BenchScale() {
+  const char* env = std::getenv("SGLA_BENCH_SCALE");
+  if (env == nullptr || *env == '\0') return 0.1;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 0.1;
+}
+
+bool SolveNmi(serve::Engine* engine, const std::string& graph_id, bool robust,
+              const std::vector<int32_t>& truth, double* nmi,
+              std::vector<double>* weights) {
+  serve::SolveRequest request;
+  request.graph_id = graph_id;
+  request.algorithm = serve::Algorithm::kSgla;
+  request.options.base.max_evaluations = 24;
+  request.robust = robust;
+  auto response = engine->Solve(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "robust_gate: solve on '%s' failed: %s\n",
+                 graph_id.c_str(), response.status().ToString().c_str());
+    return false;
+  }
+  *nmi = eval::EvaluateClustering(response->labels, truth).nmi;
+  weights->assign(response->integration.weights.begin(),
+                  response->integration.weights.end());
+  return true;
+}
+
+int Main(double min_ratio, const std::string& out_path) {
+  const double scale = BenchScale();
+  const int64_t n =
+      std::max<int64_t>(400, static_cast<int64_t>(20000 * scale));
+  const int k = 3;
+
+  // The clean views are deliberately WEAK (low SBM contrast, overlapping
+  // attribute clusters): strong views would solve the fixture outright no
+  // matter how much weight lands on the corruption, and the gate would have
+  // nothing to measure.
+  Rng rng(4107);
+  std::vector<int32_t> truth = data::BalancedLabels(n, k, &rng);
+  core::MultiViewGraph clean(n, k);
+  clean.AddGraphView(data::SbmGraph(truth, k, 0.030, 0.012, &rng));
+  clean.AddAttributeView(
+      data::GaussianAttributes(truth, k, 6, 1.1, 1.0, &rng));
+
+  // Corrupted fixture: the clean views plus a DENSE label-free random graph
+  // (p_in == p_out kills all cluster signal). Density is the attack: a dense
+  // random graph is an excellent expander, so the plain objective's
+  // connectivity term actively pulls weight onto it.
+  core::MultiViewGraph corrupted(n, k);
+  corrupted.AddGraphView(clean.graph_views()[0]);
+  corrupted.AddAttributeView(clean.attribute_views()[0]);
+  const double p_noise = 0.08;
+  corrupted.AddGraphView(data::SbmGraph(truth, k, p_noise, p_noise, &rng));
+
+  serve::GraphRegistry registry;
+  serve::EngineOptions engine_options;
+  engine_options.num_sessions = 1;
+  serve::Engine engine(&registry, engine_options);
+  auto clean_entry = engine.RegisterGraph("clean", clean);
+  auto corrupted_entry = engine.RegisterGraph("corrupted", corrupted);
+  if (!clean_entry.ok() || !corrupted_entry.ok()) {
+    std::fprintf(stderr, "robust_gate: register failed\n");
+    return 1;
+  }
+
+  double clean_nmi = 0.0, plain_nmi = 0.0, robust_nmi = 0.0;
+  std::vector<double> clean_w, plain_w, robust_w;
+  if (!SolveNmi(&engine, "clean", false, truth, &clean_nmi, &clean_w) ||
+      !SolveNmi(&engine, "corrupted", false, truth, &plain_nmi, &plain_w) ||
+      !SolveNmi(&engine, "corrupted", true, truth, &robust_nmi, &robust_w)) {
+    return 1;
+  }
+  // Global view order is graph views first: [clean graph, noise graph,
+  // clean attributes] — the noise view's weight is index 1.
+  const double plain_noise_w = plain_w.size() > 1 ? plain_w[1] : 0.0;
+  const double robust_noise_w = robust_w.size() > 1 ? robust_w[1] : 0.0;
+  const double ratio = clean_nmi > 0.0 ? robust_nmi / clean_nmi : 0.0;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "robust_gate: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"kind\": \"sgla_robust_gate\",\n"
+      << "  \"nodes\": " << n << ",\n"
+      << "  \"clean_nmi\": " << clean_nmi << ",\n"
+      << "  \"plain_corrupted_nmi\": " << plain_nmi << ",\n"
+      << "  \"robust_corrupted_nmi\": " << robust_nmi << ",\n"
+      << "  \"robust_over_clean\": " << ratio << ",\n"
+      << "  \"min_ratio\": " << min_ratio << ",\n"
+      << "  \"plain_noise_weight\": " << plain_noise_w << ",\n"
+      << "  \"robust_noise_weight\": " << robust_noise_w << "\n"
+      << "}\n";
+  out.close();
+
+  std::printf(
+      "robust_gate: clean nmi %.4f  corrupted plain %.4f  robust %.4f  "
+      "(ratio %.3f)\n",
+      clean_nmi, plain_nmi, robust_nmi, ratio);
+  std::printf("robust_gate: noise-view weight plain %.4f  robust %.4f\n",
+              plain_noise_w, robust_noise_w);
+
+  bool ok = true;
+  if (ratio < min_ratio) {
+    std::fprintf(stderr, "robust_gate: FAIL robust/clean %.3f < %.3f\n",
+                 ratio, min_ratio);
+    ok = false;
+  }
+  if (robust_nmi <= plain_nmi) {
+    std::fprintf(stderr,
+                 "robust_gate: FAIL robust nmi %.4f <= plain %.4f on the "
+                 "corrupted fixture\n",
+                 robust_nmi, plain_nmi);
+    ok = false;
+  }
+  if (robust_noise_w >= plain_noise_w) {
+    std::fprintf(stderr,
+                 "robust_gate: FAIL robust kept %.4f on the noise view "
+                 "(plain: %.4f)\n",
+                 robust_noise_w, plain_noise_w);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sgla
+
+int main(int argc, char** argv) {
+  double min_ratio = 0.85;
+  std::string out_path = "BENCH_robust_gate.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--min-ratio" && i + 1 < argc) {
+      min_ratio = std::atof(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: sgla_robust_gate [--min-ratio F] [--out PATH]\n");
+      return 2;
+    }
+  }
+  return sgla::Main(min_ratio, out_path);
+}
