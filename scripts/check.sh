@@ -18,6 +18,10 @@ Flags (combinable, e.g. `--asan --bench-smoke`):
   --rpc-load     skip ctest; run the closed-loop RPC load generator at a
                  small fixed budget and write BENCH_rpc.json (p50/p95/p99
                  latency; gated by scripts/perf_gate.py --latency)
+  --recovery     skip ctest; run the crash-recovery harness (sgla_crashgen):
+                 SIGKILL a persistent engine at seeded-random points and
+                 fail unless recovered solves are bit-identical to an
+                 uninterrupted run (combinable with --asan)
   --isa NAME     pin the SIMD dispatch path for everything this invocation
                  runs (exports SGLA_ISA=NAME; scalar|neon|avx2|avx512).
                  Unavailable or unknown names warn and fall back to
@@ -40,6 +44,7 @@ cd "$(dirname "$0")/.."
 sanitizer=""
 bench_smoke=0
 rpc_load=0
+recovery=0
 ctest_args=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -55,6 +60,7 @@ while [[ $# -gt 0 ]]; do
       ;;
     --bench-smoke) bench_smoke=1 ;;
     --rpc-load) rpc_load=1 ;;
+    --recovery) recovery=1 ;;
     --isa)
       if [[ $# -lt 2 ]]; then
         echo "check.sh: --isa needs a name (scalar|neon|avx2|avx512)" >&2
@@ -74,6 +80,14 @@ if [[ -n "${sanitizer}" && ( "${bench_smoke}" == "1" || "${rpc_load}" == "1" ) ]
   # baseline poisons the perf gate (sanitizer timings are 10-50x off).
   echo "check.sh: --bench-smoke/--rpc-load cannot run in a sanitizer build;" \
        "benchmark and latency baselines must come from plain builds" >&2
+  exit 2
+fi
+
+if [[ "${recovery}" == "1" && ( "${bench_smoke}" == "1" || "${rpc_load}" == "1" ) ]]; then
+  # One skip-ctest mode per invocation: the recovery harness kills and
+  # restarts child processes, which would corrupt a concurrent benchmark's
+  # timings anyway.
+  echo "check.sh: --recovery cannot be combined with --bench-smoke/--rpc-load" >&2
   exit 2
 fi
 
@@ -125,6 +139,33 @@ if [[ "${rpc_load}" == "1" ]]; then
   "${build_dir}/sgla_loadgen" --clients 6 --requests 25 --nodes 400 \
     --fast-fraction 0.5 --out BENCH_rpc.json
   echo "check.sh: wrote BENCH_rpc.json"
+  exit 0
+fi
+
+if [[ "${recovery}" == "1" ]]; then
+  # Crash-recovery gate: kill -9 a persistent engine at seeded-random points
+  # (the seed is logged; SGLA_CRASH_SEED reproduces a red run) and require
+  # the recovered solves to be bit-identical to an uninterrupted run, across
+  # the same threads x shards matrix the determinism gate uses. The workdir
+  # is left behind on failure so CI can upload the WAL + checkpoints.
+  workdir="${build_dir}/crashgen"
+  rm -rf "${workdir}"
+  status=0
+  for threads in 1 4; do
+    for shards in 1 4; do
+      echo "check.sh: crashgen SGLA_THREADS=${threads} shards=${shards}"
+      if ! SGLA_THREADS="${threads}" "${build_dir}/sgla_crashgen" \
+          --dir "${workdir}/t${threads}s${shards}" --shards "${shards}"; then
+        status=1
+      fi
+    done
+  done
+  if [[ "${status}" != "0" ]]; then
+    echo "check.sh: crash-recovery gate FAILED (state in ${workdir})" >&2
+    exit 1
+  fi
+  rm -rf "${workdir}"
+  echo "check.sh: crash-recovery gate green (${build_dir})"
   exit 0
 fi
 

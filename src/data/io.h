@@ -20,6 +20,17 @@ Result<la::CsrMatrix> LoadCsr(const std::string& path);
 Status SaveMvag(const core::MultiViewGraph& mvag, const std::string& path);
 Result<core::MultiViewGraph> LoadMvag(const std::string& path);
 
+/// The same MVAG block as a self-delimiting byte string (magic included) —
+/// the form the persist layer's checkpoints embed, so a checkpointed graph
+/// goes through exactly the validation LoadMvag applies to files. Appends to
+/// `out`; the file functions above are thin wrappers over these.
+void SaveMvagBytes(const core::MultiViewGraph& mvag, std::string* out);
+/// Parses one MVAG block from `data[0..size)`; `*consumed` (optional)
+/// receives how many bytes the block occupied. Every count and size relation
+/// is validated exactly as in LoadMvag — hostile counts reject, never crash.
+Result<core::MultiViewGraph> LoadMvagBytes(const uint8_t* data, size_t size,
+                                           size_t* consumed = nullptr);
+
 }  // namespace data
 }  // namespace sgla
 

@@ -219,6 +219,23 @@ Result<EvictReply> Client::Evict(const EvictRequest& request) {
   return reply;
 }
 
+Result<CheckpointReply> Client::Checkpoint(const CheckpointRequest& request) {
+  WireWriter w;
+  EncodeCheckpointRequest(request, &w);
+  FrameType type;
+  std::vector<uint8_t> payload;
+  Status status =
+      RoundTrip(FrameType::kCheckpoint, std::move(w), &type, &payload);
+  if (!status.ok()) return status;
+  if (type != FrameType::kCheckpointOk) return Internal("wrong reply type");
+  WireReader r(payload.data(), payload.size());
+  CheckpointReply reply;
+  if (!DecodeCheckpointReply(&r, &reply)) {
+    return Internal("malformed Checkpoint reply");
+  }
+  return reply;
+}
+
 Status Client::Ping() {
   FrameType type;
   std::vector<uint8_t> payload;

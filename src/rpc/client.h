@@ -35,6 +35,10 @@ class Client {
   Result<UpdateReply> Update(const UpdateRequest& request);
   Result<SolveReply> Solve(const SolveWireRequest& request);
   Result<EvictReply> Evict(const EvictRequest& request);
+  /// Admin: force a durable checkpoint of one graph (see
+  /// serve::Engine::Checkpoint). FAILED_PRECONDITION on servers running
+  /// without a data_dir.
+  Result<CheckpointReply> Checkpoint(const CheckpointRequest& request);
   Status Ping();
 
  private:

@@ -75,7 +75,23 @@ bool DecodeMvag(WireReader* r, core::MultiViewGraph* mvag) {
   return true;
 }
 
-void EncodeDelta(const serve::GraphDelta& delta, WireWriter* w) {
+bool DecodeViewIndexList(WireReader* r, std::vector<int>* list) {
+  uint32_t count;
+  if (!r->U32(&count) || !r->CheckCount(count, 4)) return false;
+  list->resize(count);
+  for (int& v : *list) {
+    int32_t index;
+    if (!r->I32(&index)) return false;
+    v = index;
+  }
+  return true;
+}
+
+}  // namespace
+
+// The delta sub-codec is public: the persist layer's WAL records carry the
+// exact same bytes as an Update payload's delta section (messages.h).
+void EncodeGraphDelta(const serve::GraphDelta& delta, WireWriter* w) {
   w->U32(static_cast<uint32_t>(delta.graph_views.size()));
   for (const serve::GraphViewDelta& g : delta.graph_views) {
     w->I32(g.view);
@@ -125,19 +141,7 @@ void EncodeDelta(const serve::GraphDelta& delta, WireWriter* w) {
   for (int v : delta.unmask_views) w->I32(v);
 }
 
-bool DecodeViewIndexList(WireReader* r, std::vector<int>* list) {
-  uint32_t count;
-  if (!r->U32(&count) || !r->CheckCount(count, 4)) return false;
-  list->resize(count);
-  for (int& v : *list) {
-    int32_t index;
-    if (!r->I32(&index)) return false;
-    v = index;
-  }
-  return true;
-}
-
-bool DecodeDelta(WireReader* r, serve::GraphDelta* delta) {
+bool DecodeGraphDelta(WireReader* r, serve::GraphDelta* delta) {
   // Every count below sizes a resize(), so each is bounds-checked against
   // the bytes its elements minimally occupy on the wire (view deltas: i32
   // view + two u64 counts = 20; upserts: 24; removals: 16; attribute rows:
@@ -220,8 +224,6 @@ bool DecodeDelta(WireReader* r, serve::GraphDelta* delta) {
          DecodeViewIndexList(r, &delta->unmask_views);
 }
 
-}  // namespace
-
 // --- messages ---------------------------------------------------------------
 
 void EncodeHelloRequest(const HelloRequest& msg, WireWriter* w) {
@@ -266,11 +268,11 @@ bool DecodeRegisterReply(WireReader* r, RegisterReply* msg) {
 
 void EncodeUpdateRequest(const UpdateRequest& msg, WireWriter* w) {
   w->Str(msg.id);
-  EncodeDelta(msg.delta, w);
+  EncodeGraphDelta(msg.delta, w);
 }
 
 bool DecodeUpdateRequest(WireReader* r, UpdateRequest* msg) {
-  return r->Str(&msg->id) && DecodeDelta(r, &msg->delta) && r->Finish();
+  return r->Str(&msg->id) && DecodeGraphDelta(r, &msg->delta) && r->Finish();
 }
 
 void EncodeUpdateReply(const UpdateReply& msg, WireWriter* w) {
@@ -379,6 +381,22 @@ bool DecodeEvictReply(WireReader* r, EvictReply* msg) {
   if (!r->U8(&existed) || !r->Finish()) return false;
   msg->existed = existed != 0;
   return true;
+}
+
+void EncodeCheckpointRequest(const CheckpointRequest& msg, WireWriter* w) {
+  w->Str(msg.id);
+}
+
+bool DecodeCheckpointRequest(WireReader* r, CheckpointRequest* msg) {
+  return r->Str(&msg->id) && r->Finish();
+}
+
+void EncodeCheckpointReply(const CheckpointReply& msg, WireWriter* w) {
+  w->I64(msg.epoch);
+}
+
+bool DecodeCheckpointReply(WireReader* r, CheckpointReply* msg) {
+  return r->I64(&msg->epoch) && r->Finish();
 }
 
 void EncodeErrorReply(const ErrorReply& msg, WireWriter* w) {

@@ -102,6 +102,17 @@ struct EvictReply {
   bool existed = false;
 };
 
+/// Admin: force a durable checkpoint of one graph now (see
+/// serve::Engine::Checkpoint). Engines without EngineOptions::data_dir
+/// answer kError FAILED_PRECONDITION.
+struct CheckpointRequest {
+  std::string id;
+};
+
+struct CheckpointReply {
+  int64_t epoch = 0;  ///< the epoch the written checkpoint captured
+};
+
 struct ErrorReply {
   StatusCode code = StatusCode::kInternal;
   std::string message;
@@ -136,6 +147,20 @@ bool DecodeEvictRequest(WireReader* r, EvictRequest* msg);
 
 void EncodeEvictReply(const EvictReply& msg, WireWriter* w);
 bool DecodeEvictReply(WireReader* r, EvictReply* msg);
+
+void EncodeCheckpointRequest(const CheckpointRequest& msg, WireWriter* w);
+bool DecodeCheckpointRequest(WireReader* r, CheckpointRequest* msg);
+
+void EncodeCheckpointReply(const CheckpointReply& msg, WireWriter* w);
+bool DecodeCheckpointReply(WireReader* r, CheckpointReply* msg);
+
+/// The GraphDelta sub-codec, shared verbatim by the Update payload and the
+/// persist layer's WAL records (src/persist/wal.h): one serialization of a
+/// delta, validated once. DecodeGraphDelta bounds-checks every count before
+/// allocating (hostile counts cannot drive a resize) but, unlike the message
+/// decoders, does NOT call Finish() — it is a section, not a whole payload.
+void EncodeGraphDelta(const serve::GraphDelta& delta, WireWriter* w);
+bool DecodeGraphDelta(WireReader* r, serve::GraphDelta* delta);
 
 void EncodeErrorReply(const ErrorReply& msg, WireWriter* w);
 bool DecodeErrorReply(WireReader* r, ErrorReply* msg);

@@ -303,6 +303,7 @@ void Server::DispatchFrame(Connection* conn, const FrameHeader& header,
     case FrameType::kRegister:
     case FrameType::kUpdate:
     case FrameType::kEvict:
+    case FrameType::kCheckpoint:
       DispatchControl(conn, header, payload, payload_size);
       return;
     default:
@@ -494,6 +495,27 @@ void Server::DispatchControl(Connection* conn, const FrameHeader& header,
         WireWriter w;
         EncodeEvictReply(reply, &w);
         frame = BuildFrame(FrameType::kEvictOk, request_id, std::move(w));
+        break;
+      }
+      case FrameType::kCheckpoint: {
+        // Admin op: the checkpoint write (a consistent snapshot + fsync)
+        // belongs on the control queue with the other slow mutations.
+        CheckpointRequest request;
+        if (!DecodeCheckpointRequest(&r, &request)) {
+          frame = BuildErrorFrame(request_id,
+                                  InvalidArgument("malformed Checkpoint"));
+          break;
+        }
+        auto epoch = engine_->Checkpoint(request.id);
+        if (!epoch.ok()) {
+          frame = BuildErrorFrame(request_id, epoch.status());
+          break;
+        }
+        CheckpointReply reply;
+        reply.epoch = *epoch;
+        WireWriter w;
+        EncodeCheckpointReply(reply, &w);
+        frame = BuildFrame(FrameType::kCheckpointOk, request_id, std::move(w));
         break;
       }
       default:

@@ -35,12 +35,14 @@ bool KnownFrameType(uint8_t type) {
     case FrameType::kSolve:
     case FrameType::kEvict:
     case FrameType::kPing:
+    case FrameType::kCheckpoint:
     case FrameType::kHelloOk:
     case FrameType::kRegisterOk:
     case FrameType::kUpdateOk:
     case FrameType::kSolveOk:
     case FrameType::kEvictOk:
     case FrameType::kPong:
+    case FrameType::kCheckpointOk:
     case FrameType::kError:
       return true;
   }
@@ -123,6 +125,11 @@ bool WireReader::CheckCount(uint64_t count, size_t elem_bytes) {
     return false;
   }
   return true;
+}
+
+bool WireReader::Skip(size_t n) {
+  const uint8_t* p;
+  return Take(n, &p);
 }
 
 bool WireReader::U8(uint8_t* v) {

@@ -36,6 +36,9 @@ enum class FrameType : uint8_t {
   kSolve = 4,     ///< cluster/embed solve
   kEvict = 5,     ///< evict a graph
   kPing = 6,      ///< liveness no-op
+  /// Admin: force a durable checkpoint of one graph now (engines running
+  /// with EngineOptions::data_dir; others answer FAILED_PRECONDITION).
+  kCheckpoint = 7,
   // Responses.
   kHelloOk = 65,
   kRegisterOk = 66,
@@ -43,6 +46,7 @@ enum class FrameType : uint8_t {
   kSolveOk = 68,
   kEvictOk = 69,
   kPong = 70,
+  kCheckpointOk = 71,
   /// Typed failure: payload = [u8 StatusCode][string message]. RESOURCE_
   /// EXHAUSTED is the admission-control rejection the load generator and
   /// clients key retry/backoff behavior on.
@@ -110,6 +114,14 @@ class WireReader {
   bool ok() const { return ok_; }
   /// True iff every byte was consumed and no read failed.
   bool Finish() const { return ok_ && offset_ == size_; }
+
+  /// Raw view of the unread suffix, for embedded sections that carry their
+  /// own framing (persist checkpoints embed the data:: MVAG block verbatim).
+  /// The caller parses from cursor() and then Skip()s what it consumed, so
+  /// Finish() keeps enforcing exhaustion.
+  const uint8_t* cursor() const { return data_ + offset_; }
+  size_t remaining() const { return ok_ ? size_ - offset_ : 0; }
+  bool Skip(size_t n);
 
   /// Guards count-prefixed containers: a hostile count must not drive a
   /// multi-GiB resize/reserve before the bounds check catches it. Each

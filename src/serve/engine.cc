@@ -17,7 +17,24 @@ Engine::Engine(GraphRegistry* registry, const EngineOptions& options)
       warm_cache_(options.warm_cache),
       max_pending_(options.max_pending),
       workspaces_(static_cast<size_t>(std::max(1, options.num_sessions))),
-      queue_(std::max(1, options.num_sessions)) {}
+      queue_(std::max(1, options.num_sessions)) {
+  if (!options.data_dir.empty()) {
+    persist::StoreOptions store_options;
+    store_options.dir = options.data_dir;
+    store_options.fsync = options.persist_fsync;
+    store_options.checkpoint_interval = options.checkpoint_interval;
+    auto store = persist::Store::Open(store_options, registry_);
+    if (store.ok()) {
+      store_ = std::move(*store);
+      recovery_stats_ = store_->recovery();
+    } else {
+      // Recovery failed: keep the typed error; every mutation returns it
+      // (building fresh state over a directory we could not read would
+      // diverge from it silently).
+      recovery_status_ = store.status();
+    }
+  }
+}
 
 // queue_ is declared last, so it is destroyed — draining every pending task,
 // resolving every outstanding future — before the workspaces its workers use.
@@ -26,6 +43,8 @@ Engine::~Engine() = default;
 Result<std::shared_ptr<const GraphEntry>> Engine::RegisterGraph(
     const std::string& id, const core::MultiViewGraph& mvag,
     const RegisterOptions& options) {
+  if (!recovery_status_.ok()) return recovery_status_;
+  if (store_ != nullptr) return store_->Register(id, mvag, options);
   return registry_->Register(id, mvag, options);
 }
 
@@ -33,12 +52,25 @@ Result<std::shared_ptr<const GraphEntry>> Engine::UpdateGraph(
     const std::string& id, const GraphDelta& delta) {
   // The warm-start cache intentionally survives the epoch bump: the updated
   // spectrum is close to its predecessor's, which is what warm solves use.
+  if (!recovery_status_.ok()) return recovery_status_;
+  if (store_ != nullptr) return store_->Update(id, delta);
   return registry_->UpdateGraph(id, delta);
 }
 
 bool Engine::EvictGraph(const std::string& id) {
   cache_.Invalidate(id);
+  if (!recovery_status_.ok()) return false;
+  if (store_ != nullptr) return store_->Evict(id);
   return registry_->Evict(id);
+}
+
+Result<int64_t> Engine::Checkpoint(const std::string& id) {
+  if (!recovery_status_.ok()) return recovery_status_;
+  if (store_ == nullptr) {
+    return FailedPrecondition(
+        "engine has no data_dir: nothing to checkpoint to");
+  }
+  return store_->Checkpoint(id);
 }
 
 std::future<Result<SolveResponse>> Engine::Submit(SolveRequest request) {

@@ -15,6 +15,7 @@
 #include "cluster/spectral_clustering.h"
 #include "core/integration.h"
 #include "embed/netmf.h"
+#include "persist/store.h"
 #include "serve/graph_registry.h"
 #include "serve/solve_cache.h"
 #include "util/status.h"
@@ -152,6 +153,20 @@ struct EngineOptions {
   /// treats it as a miss (and drops it), so stale seeds cost a cold start
   /// instead of extra Lanczos iterations chasing a drifted spectrum.
   int64_t cache_ttl_ms = 0;
+  /// Durability root (see DESIGN.md "Durability & recovery"). Empty
+  /// (default) keeps the engine purely in-memory. Non-empty: construction
+  /// recovers the registry from the directory's checkpoints + WAL
+  /// (recovery_status() reports how that went), and every RegisterGraph /
+  /// UpdateGraph / EvictGraph is durable on stable storage before it
+  /// returns — a kill -9 at any instant restarts into a state whose solves
+  /// are bit-identical to the acknowledged pre-crash state.
+  std::string data_dir;
+  /// Auto-checkpoint a graph after this many WAL records for it since its
+  /// last checkpoint; 0 disables auto-checkpointing (Checkpoint() only).
+  int64_t checkpoint_interval = 64;
+  /// fsync WAL commits and checkpoint files (default). False is for tests
+  /// and tooling that want the format without the disk stalls.
+  bool persist_fsync = true;
 };
 
 /// Per-call submission knobs for the callback form.
@@ -203,6 +218,25 @@ class Engine {
 
   /// Evicts the graph and drops its warm-start cache entries.
   bool EvictGraph(const std::string& id);
+
+  /// Forces a durable checkpoint of one graph now (persistent engines only:
+  /// FailedPrecondition without EngineOptions::data_dir). Compacts the
+  /// graph's WAL suffix into a fresh checkpoint — and truncates the WAL once
+  /// every graph is covered — so the next recovery replays less. Returns the
+  /// epoch the checkpoint captured.
+  Result<int64_t> Checkpoint(const std::string& id);
+
+  /// OK when persistence is off or recovery succeeded. When construction
+  /// found a data_dir it could not recover (corrupt checkpoint, impossible
+  /// WAL sequence, I/O failure), the typed error lands here and every
+  /// mutating call (RegisterGraph/UpdateGraph/EvictGraph/Checkpoint) returns
+  /// it — the engine refuses to build divergent state on top of a directory
+  /// it could not read, and never silently serves wrong state.
+  const Status& recovery_status() const { return recovery_status_; }
+  /// What recovery restored/replayed; zeros when persistence is off.
+  const persist::RecoveryStats& recovery_stats() const {
+    return recovery_stats_;
+  }
 
   /// Enqueues a solve; the future resolves when a session worker finishes
   /// it. The graph snapshot is taken here, at submit time: a graph evicted
@@ -305,6 +339,12 @@ class Engine {
   };
 
   GraphRegistry* registry_;
+  /// Durable front over registry_ (EngineOptions::data_dir); null when
+  /// persistence is off OR recovery failed (then recovery_status_ explains
+  /// and mutations refuse).
+  std::unique_ptr<persist::Store> store_;
+  Status recovery_status_;
+  persist::RecoveryStats recovery_stats_;
   /// Warm-start bank: last solve's weights + objective Ritz vectors +
   /// embedding eigenvectors per (graph_id, mode, algorithm, k, quality);
   /// read when a request sets warm_start, written (when options.warm_cache)

@@ -136,18 +136,53 @@ std::shared_ptr<util::TaskQueue> GraphRegistry::ShardQueue() {
 
 Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Publish(
     std::shared_ptr<GraphEntry> entry, const RegisterOptions& options,
-    std::shared_ptr<GraphSource> source, const core::MultiViewGraph* mvag) {
+    std::shared_ptr<GraphSource> source, const core::MultiViewGraph* mvag,
+    const RestoreState* restore) {
   // Registration-time active-set state: every view active, uids 1..V (an
-  // update source's AddView continues from next_view_uid).
+  // update source's AddView continues from next_view_uid). A restore
+  // installs the checkpointed state instead, after validating it against
+  // the rebuilt views — contradictory state rejects rather than serving a
+  // graph whose lifecycle stamps would lie.
+  if (restore != nullptr && !restore->view_uids.empty()) {
+    if (restore->view_uids.size() != entry->views.size()) {
+      return InvalidArgument("restore state for '" + entry->id + "' carries " +
+                             std::to_string(restore->view_uids.size()) +
+                             " view uids for " +
+                             std::to_string(entry->views.size()) + " views");
+    }
+    entry->view_uids = restore->view_uids;
+  }
   if (entry->view_uids.size() != entry->views.size()) {
     entry->view_uids.resize(entry->views.size());
     for (size_t v = 0; v < entry->views.size(); ++v) {
       entry->view_uids[v] = static_cast<uint64_t>(v) + 1;
     }
   }
-  entry->active.assign(entry->views.size(), true);
+  if (restore != nullptr && !restore->active.empty()) {
+    if (restore->active.size() != entry->views.size()) {
+      return InvalidArgument("restore state for '" + entry->id +
+                             "' activity mask does not match the view count");
+    }
+    bool any_active = false;
+    for (size_t v = 0; v < restore->active.size(); ++v) {
+      any_active = any_active || restore->active[v];
+    }
+    if (!any_active) {
+      return InvalidArgument("restore state for '" + entry->id +
+                             "' masks every view");
+    }
+    entry->active = restore->active;
+  } else {
+    entry->active.assign(entry->views.size(), true);
+  }
+  if (restore != nullptr) entry->epoch = restore->epoch;
   entry->robust_views = options.robust_views;
   BuildActiveState(entry.get());
+  if (restore != nullptr && restore->views_signature != 0 &&
+      restore->views_signature != entry->views_signature) {
+    return InvalidArgument("restore state for '" + entry->id +
+                           "' active-set signature mismatch");
+  }
   const std::vector<la::CsrMatrix>* serving =
       entry->active_views.empty() ? &entry->views : &entry->active_views;
   entry->aggregator.reset(new core::LaplacianAggregator(serving));
@@ -214,6 +249,73 @@ Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Register(
   RegisterOptions options;
   options.knn = knn;
   return Register(id, mvag, options);
+}
+
+Result<std::shared_ptr<const GraphEntry>> GraphRegistry::Restore(
+    const std::string& id, const core::MultiViewGraph& mvag,
+    const RegisterOptions& options, const RestoreState& state) {
+  // Identical to Register except the checkpointed epoch/uids/mask replace
+  // the registration defaults. Lineage is process-local and deliberately NOT
+  // restored: a recovered entry is a new registration as far as warm-start
+  // caches are concerned (their seeds died with the old process anyway).
+  auto views = core::ComputeViewLaplacians(mvag, options.knn);
+  if (!views.ok()) return views.status();
+  auto entry = std::make_shared<GraphEntry>();
+  entry->id = id;
+  entry->lineage = NextLineage();
+  entry->num_nodes = mvag.num_nodes();
+  entry->num_clusters = mvag.num_clusters();
+  entry->views = std::move(*views);
+  std::shared_ptr<GraphSource> source;
+  if (options.updatable) {
+    source = std::make_shared<GraphSource>();
+    source->mvag = mvag;
+    source->knn = options.knn;
+    source->next_view_uid = state.next_view_uid != 0
+                                ? state.next_view_uid
+                                : entry->views.size() + 1;
+  }
+  return Publish(std::move(entry), options, std::move(source), &mvag, &state);
+}
+
+Result<SourceSnapshot> GraphRegistry::SnapshotSource(
+    const std::string& id) const {
+  std::shared_ptr<GraphSource> source;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = graphs_.find(id);
+    if (it == graphs_.end()) {
+      return NotFound("graph '" + id + "' is not registered");
+    }
+    auto sit = sources_.find(id);
+    if (sit == sources_.end()) {
+      return FailedPrecondition(
+          "graph '" + id +
+          "' carries no update source (RegisterViews entry or "
+          "updatable=false); nothing to snapshot");
+    }
+    source = sit->second;
+  }
+  // The per-id update lock makes the (mvag, entry) pair consistent: no delta
+  // can apply between copying the graph and re-reading the entry. The entry
+  // re-fetch below mirrors UpdateGraph's evict/replace race check.
+  std::lock_guard<std::mutex> update_lock(source->mutex);
+  SourceSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = graphs_.find(id);
+    auto sit = sources_.find(id);
+    if (it == graphs_.end() || sit == sources_.end() ||
+        sit->second != source) {
+      return NotFound("graph '" + id +
+                      "' was evicted or replaced during the snapshot");
+    }
+    snapshot.entry = it->second;
+  }
+  snapshot.mvag = source->mvag;
+  snapshot.knn = source->knn;
+  snapshot.next_view_uid = source->next_view_uid;
+  return snapshot;
 }
 
 Result<std::shared_ptr<const GraphEntry>> GraphRegistry::RegisterViews(

@@ -156,6 +156,32 @@ struct GraphEntry {
   std::unique_ptr<const CoarseGraphEntry> coarse;
 };
 
+/// Mutable per-graph state a persist checkpoint must capture beyond the
+/// MultiViewGraph itself: the epoch counter, the stable view identities and
+/// activity mask, and the uid allocator position. Restore() installs it in
+/// place of the registration defaults so a recovered entry is
+/// indistinguishable from the pre-crash one (see src/persist/).
+struct RestoreState {
+  int64_t epoch = 0;
+  std::vector<uint64_t> view_uids;  ///< empty = registration default 1..V
+  std::vector<bool> active;         ///< empty = all active
+  uint64_t next_view_uid = 0;       ///< 0 = V + 1
+  /// Expected active-set signature; 0 skips the check. A mismatch means the
+  /// checkpoint and the rebuilt state disagree — Restore fails rather than
+  /// serve a graph whose warm-seed stamps would lie.
+  uint64_t views_signature = 0;
+};
+
+/// A consistent copy of one graph's update source plus the entry snapshot it
+/// corresponds to, taken under the per-id update lock (so no delta lands
+/// between the two). What Engine::Checkpoint persists.
+struct SourceSnapshot {
+  core::MultiViewGraph mvag;
+  graph::KnnOptions knn;
+  uint64_t next_view_uid = 0;
+  std::shared_ptr<const GraphEntry> entry;
+};
+
 /// Registers/evicts MultiViewGraphs by id and hands out shared snapshots.
 /// Eviction only unlinks the entry from the map: solves that already hold
 /// the shared_ptr keep a fully valid graph until they finish (no
@@ -210,6 +236,24 @@ class GraphRegistry {
   Result<std::shared_ptr<const GraphEntry>> UpdateGraph(
       const std::string& id, const GraphDelta& delta);
 
+  /// Register() with the checkpointed mutable state installed instead of the
+  /// registration defaults: the entry comes back at `state.epoch` with the
+  /// checkpointed view uids, activity mask and uid allocator, and the serving
+  /// state (aggregators, shard slices, coarse companion) is rebuilt from
+  /// scratch over the active subset — exactly what the lifecycle-update path
+  /// builds, so recovered solves are bit-identical to the pre-crash process.
+  /// Fails on duplicate id or on state that contradicts the graph (uid count
+  /// vs view count, empty active set, signature mismatch).
+  Result<std::shared_ptr<const GraphEntry>> Restore(
+      const std::string& id, const core::MultiViewGraph& mvag,
+      const RegisterOptions& options, const RestoreState& state);
+
+  /// A consistent (mvag, entry) pair for `id`, taken under the per-id update
+  /// lock so no delta can land between copying the graph and snapshotting
+  /// the entry. Fails like UpdateGraph on RegisterViews / updatable=false
+  /// entries (there is no source to snapshot).
+  Result<SourceSnapshot> SnapshotSource(const std::string& id) const;
+
   /// Unlinks the entry; returns false if the id was not registered. The id
   /// becomes immediately re-registrable.
   bool Evict(const std::string& id);
@@ -236,10 +280,13 @@ class GraphRegistry {
   };
 
   /// `mvag` (may be null for RegisterViews entries) lets the coarse builder
-  /// re-run attribute-view KNN on the averaged coarse attributes.
+  /// re-run attribute-view KNN on the averaged coarse attributes. `restore`
+  /// (null for plain registration) swaps the registration-default epoch /
+  /// uids / activity mask for checkpointed ones (see Restore).
   Result<std::shared_ptr<const GraphEntry>> Publish(
       std::shared_ptr<GraphEntry> entry, const RegisterOptions& options,
-      std::shared_ptr<GraphSource> source, const core::MultiViewGraph* mvag);
+      std::shared_ptr<GraphSource> source, const core::MultiViewGraph* mvag,
+      const RestoreState* restore = nullptr);
 
   /// The queue shard jobs run on, created lazily at the first sharded
   /// registration and shared by every sharded entry (entries hold the

@@ -9,6 +9,7 @@
 #include <arpa/inet.h>
 #include <errno.h>
 #include <netinet/in.h>
+#include <stdlib.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -427,6 +428,33 @@ TEST(MessagesTest, ErrorReplyCarriesTypedStatus) {
   EXPECT_EQ(error.message, "quota");
 }
 
+TEST(MessagesTest, CheckpointMessagesRoundTrip) {
+  CheckpointRequest request;
+  request.id = "graph-a";
+  WireWriter w;
+  EncodeCheckpointRequest(request, &w);
+  std::vector<uint8_t> buffer = w.TakeBuffer();
+  WireReader r(buffer.data(), buffer.size());
+  CheckpointRequest decoded_request;
+  ASSERT_TRUE(DecodeCheckpointRequest(&r, &decoded_request));
+  EXPECT_EQ(decoded_request.id, request.id);
+  for (size_t len = 0; len < buffer.size(); ++len) {
+    WireReader truncated(buffer.data(), len);
+    CheckpointRequest scratch;
+    EXPECT_FALSE(DecodeCheckpointRequest(&truncated, &scratch));
+  }
+
+  CheckpointReply reply;
+  reply.epoch = 41;
+  WireWriter w2;
+  EncodeCheckpointReply(reply, &w2);
+  buffer = w2.TakeBuffer();
+  WireReader r2(buffer.data(), buffer.size());
+  CheckpointReply decoded_reply;
+  ASSERT_TRUE(DecodeCheckpointReply(&r2, &decoded_reply));
+  EXPECT_EQ(decoded_reply.epoch, reply.epoch);
+}
+
 // --- loopback serving -------------------------------------------------------
 
 /// Engine + server + registered fixture graph, shared by the e2e tests.
@@ -542,6 +570,51 @@ TEST_F(RpcServingTest, UpdateAndEvictWorkOverTheWire) {
   ASSERT_FALSE(reply.ok());
   EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
   EXPECT_TRUE(client.Ping().ok());  // connection survived the typed error
+}
+
+TEST_F(RpcServingTest, CheckpointWithoutDataDirIsTypedFailedPrecondition) {
+  StartServing({});
+  ASSERT_TRUE(RegisterFixture("g").ok());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  CheckpointRequest request;
+  request.id = "g";
+  auto reply = client.Checkpoint(request);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(client.Ping().ok());  // connection survived the typed error
+}
+
+TEST_F(RpcServingTest, CheckpointOverTheWireCompactsAPersistentEngine) {
+  std::string dir = ::testing::TempDir() + "sgla_rpc_persist_XXXXXX";
+  ASSERT_NE(mkdtemp(&dir[0]), nullptr);
+  serve::EngineOptions engine_options;
+  engine_options.data_dir = dir;
+  engine_options.persist_fsync = false;
+  engine_options.checkpoint_interval = 0;
+  StartServing(engine_options);
+  ASSERT_TRUE(RegisterFixture("g").ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+  UpdateRequest update;
+  update.id = "g";
+  serve::GraphViewDelta g;
+  g.view = 0;
+  g.upserts.push_back({0, 1, 0.9});
+  update.delta.graph_views.push_back(g);
+  ASSERT_TRUE(client.Update(update).ok());
+
+  CheckpointRequest request;
+  request.id = "g";
+  auto reply = client.Checkpoint(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->epoch, 1);
+
+  request.id = "missing";
+  auto missing = client.Checkpoint(request);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
 }
 
 TEST_F(RpcServingTest, FastTierSolvesOverTheWireEchoTierServed) {

@@ -1,0 +1,216 @@
+// WAL / checkpoint inspector: prints every record of a delta WAL and the
+// header of every checkpoint file in a persist data directory, for debugging
+// crash-recovery issues from the artifacts CI uploads on a gate failure.
+//
+// The scan is strictly read-only — unlike persist::Wal::Open it never
+// truncates a torn tail, it just reports where the valid prefix ends, so
+// running it on a live or crashed directory changes nothing.
+//
+// Usage: sgla_walcat <data-dir | wal-file | checkpoint.sgck> ...
+#include <dirent.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "persist/checkpoint.h"
+#include "persist/store.h"
+#include "persist/wal.h"
+
+namespace sgla {
+namespace {
+
+// On-disk WAL framing, mirrored from src/persist/wal.cc (the writer owns the
+// format; this tool only reads it).
+constexpr uint64_t kWalMagic = 0x53474c4177616c31ull;  // "SGLAwal1"
+constexpr uint32_t kWalVersion = 1;
+constexpr size_t kWalHeaderBytes = 16;
+constexpr size_t kWalFrameBytes = 8;  // u32 len + u32 crc
+constexpr uint32_t kMaxRecordBytes = 256u << 20;
+
+uint32_t GetU32(const uint8_t* in) {
+  return static_cast<uint32_t>(in[0]) | static_cast<uint32_t>(in[1]) << 8 |
+         static_cast<uint32_t>(in[2]) << 16 |
+         static_cast<uint32_t>(in[3]) << 24;
+}
+
+uint64_t GetU64(const uint8_t* in) {
+  return static_cast<uint64_t>(GetU32(in)) |
+         static_cast<uint64_t>(GetU32(in + 4)) << 32;
+}
+
+bool ReadWhole(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  out->resize(size < 0 ? 0 : static_cast<size_t>(size));
+  if (!out->empty()) {
+    in.read(reinterpret_cast<char*>(out->data()),
+            static_cast<std::streamsize>(out->size()));
+  }
+  return in.good() || in.eof();
+}
+
+void PrintDeltaSummary(const serve::GraphDelta& delta) {
+  size_t upserts = 0, removals = 0;
+  for (const serve::GraphViewDelta& gv : delta.graph_views) {
+    upserts += gv.upserts.size();
+    removals += gv.removals.size();
+  }
+  std::printf("edits{views=%zu upserts=%zu removals=%zu rows=%zu}",
+              delta.graph_views.size(), upserts, removals,
+              delta.attribute_rows.size());
+  if (delta.has_lifecycle()) {
+    std::printf(" lifecycle{add=%zu remove=%zu mask=%zu unmask=%zu}",
+                delta.add_views.size(), delta.remove_views.size(),
+                delta.mask_views.size(), delta.unmask_views.size());
+  }
+}
+
+int CatWal(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  if (!ReadWhole(path, &bytes)) {
+    std::fprintf(stderr, "%s: cannot read\n", path.c_str());
+    return 1;
+  }
+  std::printf("== wal %s (%zu bytes)\n", path.c_str(), bytes.size());
+  if (bytes.size() < kWalHeaderBytes) {
+    std::printf("   empty/short file: no header\n");
+    return bytes.empty() ? 0 : 1;
+  }
+  if (GetU64(bytes.data()) != kWalMagic) {
+    std::printf("   BAD MAGIC %016" PRIx64 " (want %016" PRIx64 ")\n",
+                GetU64(bytes.data()), kWalMagic);
+    return 1;
+  }
+  if (GetU32(bytes.data() + 8) != kWalVersion) {
+    std::printf("   unsupported version %u\n", GetU32(bytes.data() + 8));
+    return 1;
+  }
+
+  size_t offset = kWalHeaderBytes;
+  size_t index = 0;
+  while (offset + kWalFrameBytes <= bytes.size()) {
+    const uint32_t length = GetU32(bytes.data() + offset);
+    const uint32_t crc = GetU32(bytes.data() + offset + 4);
+    if (length > kMaxRecordBytes ||
+        offset + kWalFrameBytes + length > bytes.size()) {
+      break;  // torn tail: report below
+    }
+    const uint8_t* payload = bytes.data() + offset + kWalFrameBytes;
+    if (persist::Crc32(payload, length) != crc) break;
+    auto record = persist::DecodeWalRecord(payload, length);
+    if (!record.ok()) {
+      // CRC passed but the payload does not decode — a writer bug, not a
+      // torn append. Keep scanning so the rest of the log is still visible.
+      std::printf("[%zu] UNDECODABLE (%u bytes): %s\n", index, length,
+                  record.status().ToString().c_str());
+    } else if (record->kind == persist::WalRecord::Kind::kEvict) {
+      std::printf("[%zu] evict  id=%s reg_uid=%" PRIu64 "\n", index,
+                  record->id.c_str(), record->reg_uid);
+    } else {
+      std::printf("[%zu] delta  id=%s reg_uid=%" PRIu64 " epoch=%" PRId64 " ",
+                  index, record->id.c_str(), record->reg_uid, record->epoch);
+      PrintDeltaSummary(record->delta);
+      std::printf("\n");
+    }
+    offset += kWalFrameBytes + length;
+    ++index;
+  }
+  if (offset < bytes.size()) {
+    std::printf("   torn tail: %zu valid record(s), %zu trailing byte(s) at "
+                "offset %zu fail the frame check\n",
+                index, bytes.size() - offset, offset);
+  } else {
+    std::printf("   %zu record(s), clean tail\n", index);
+  }
+  return 0;
+}
+
+int CatCheckpoint(const std::string& path) {
+  auto data = persist::LoadCheckpoint(path);
+  std::printf("== checkpoint %s\n", path.c_str());
+  if (!data.ok()) {
+    std::printf("   INVALID: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+  size_t active = 0;
+  for (const bool a : data->active) active += a ? 1 : 0;
+  std::printf("   id=%s reg_uid=%" PRIu64 " epoch=%" PRId64
+              " nodes=%" PRId64 " views=%zu active=%zu"
+              " next_view_uid=%" PRIu64 " signature=%016" PRIx64 "\n",
+              data->id.c_str(), data->reg_uid, data->epoch,
+              data->mvag.num_nodes(), data->view_uids.size(), active,
+              data->next_view_uid, data->views_signature);
+  std::printf("   options: shards=%d coarsen_ratio=%g robust=%d knn{k=%d "
+              "seed=%" PRIu64 "}\n",
+              data->options.shards, data->options.coarsen_ratio,
+              data->options.robust_views ? 1 : 0, data->options.knn.k,
+              static_cast<uint64_t>(data->options.knn.seed));
+  return 0;
+}
+
+int CatPath(const std::string& path);
+
+int CatDir(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) {
+    std::fprintf(stderr, "%s: cannot open directory\n", dir.c_str());
+    return 1;
+  }
+  std::vector<std::string> names;
+  while (dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  closedir(d);
+  std::sort(names.begin(), names.end());
+  int status = 0;
+  for (const std::string& name : names) {
+    const std::string path = dir + "/" + name;
+    const bool checkpoint =
+        name.size() > 5 && name.compare(name.size() - 5, 5, ".sgck") == 0;
+    if (checkpoint) {
+      status |= CatCheckpoint(path);
+    } else if (name == "wal.log") {
+      status |= CatWal(path);
+    } else {
+      std::printf("== %s (skipped: not a WAL or checkpoint)\n", path.c_str());
+    }
+  }
+  return status;
+}
+
+int CatPath(const std::string& path) {
+  DIR* d = opendir(path.c_str());
+  if (d != nullptr) {
+    closedir(d);
+    return CatDir(path);
+  }
+  if (path.size() > 5 && path.compare(path.size() - 5, 5, ".sgck") == 0) {
+    return CatCheckpoint(path);
+  }
+  return CatWal(path);
+}
+
+}  // namespace
+}  // namespace sgla
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: sgla_walcat <data-dir | wal-file | file.sgck> ...\n");
+    return 2;
+  }
+  int status = 0;
+  for (int i = 1; i < argc; ++i) status |= sgla::CatPath(argv[i]);
+  return status;
+}
